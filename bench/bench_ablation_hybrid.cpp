@@ -1,0 +1,64 @@
+// Ablation — hybrid host-aware parallelization (paper §8.1 future work):
+// pure T-way database split vs hybrid (host-level split, leader-only disk
+// scans, intra-host work sharing). The paper predicts the hybrid wins
+// whenever several processors share a host disk.
+//
+//   ./bench_ablation_hybrid [--scale=0.05] [--support=0.001]
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "parallel/hybrid.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eclat;
+  using namespace eclat::bench;
+  const Flags flags(argc, argv);
+  const double scale = flags.get_double("scale", 0.05);
+  const double support = flags.get_double("support", kPaperSupport);
+
+  const HorizontalDatabase db = make_database(kPaperDatabases[0], scale);
+  const Count minsup = absolute_support(support, db.size());
+
+  std::printf("Ablation: pure vs hybrid parallelization on %s, "
+              "support %.2f%%\n",
+              scaled_name(kPaperDatabases[0], scale).c_str(),
+              support * 100.0);
+  print_rule('=', 92);
+  std::printf("%-14s | %12s %12s %8s | %12s %12s %8s\n", "Config",
+              "EclatPure(s)", "EclatHyb(s)", "gain", "CD Pure(s)",
+              "CD Hyb(s)", "gain");
+  print_rule('-', 92);
+
+  for (const mc::Topology topology :
+       {mc::Topology{4, 1}, mc::Topology{2, 2}, mc::Topology{1, 4},
+        mc::Topology{8, 1}, mc::Topology{4, 2}, mc::Topology{2, 4},
+        mc::Topology{8, 4}}) {
+    par::ParEclatConfig eclat_config;
+    eclat_config.minsup = minsup;
+    eclat_config.include_singletons = false;
+    par::CountDistributionConfig cd_config;
+    cd_config.minsup = minsup;
+
+    mc::Cluster c1(topology);
+    const double eclat_pure =
+        par::par_eclat(c1, db, eclat_config).total_seconds;
+    mc::Cluster c2(topology);
+    const double eclat_hybrid =
+        par::hybrid_eclat(c2, db, eclat_config).total_seconds;
+    mc::Cluster c3(topology);
+    const double cd_pure =
+        par::count_distribution(c3, db, cd_config).total_seconds;
+    mc::Cluster c4(topology);
+    const double cd_hybrid =
+        par::hybrid_count_distribution(c4, db, cd_config).total_seconds;
+
+    std::printf("%-14s | %12.2f %12.2f %7.2fx | %12.2f %12.2f %7.2fx\n",
+                topology.label().c_str(), eclat_pure, eclat_hybrid,
+                eclat_pure / eclat_hybrid, cd_pure, cd_hybrid,
+                cd_pure / cd_hybrid);
+  }
+  print_rule('-', 92);
+  std::printf("Expected: gain ~1x at P=1 (hybrid == pure), growing with "
+              "processors per host.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation — equivalence-class scheduling (paper §5.2.1): the greedy
+// C(s,2)-weight heuristic vs naive round-robin placement. Reports the
+// resulting load imbalance and the virtual makespan of parallel Eclat's
+// asynchronous phase under each schedule.
+//
+//   ./bench_ablation_schedule [--scale=0.02] [--support=0.001]
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "parallel/par_eclat.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eclat;
+  using namespace eclat::bench;
+  const Flags flags(argc, argv);
+  const double scale = flags.get_double("scale", 0.02);
+  const double support = flags.get_double("support", kPaperSupport);
+
+  const HorizontalDatabase db = make_database(kPaperDatabases[0], scale);
+  const Count minsup = absolute_support(support, db.size());
+
+  std::printf("Ablation: class scheduling on %s, support %.2f%%\n",
+              scaled_name(kPaperDatabases[0], scale).c_str(),
+              support * 100.0);
+  print_rule('=');
+  std::printf("%-14s %-14s %12s %14s %12s\n", "Config", "heuristic",
+              "total (s)", "async (s)", "vs greedy");
+  print_rule();
+
+  for (const mc::Topology topology :
+       {mc::Topology{4, 1}, mc::Topology{8, 1}, mc::Topology{8, 4}}) {
+    double greedy_total = 0.0;
+    for (const auto schedule : {par::ScheduleHeuristic::kGreedyWeight,
+                                par::ScheduleHeuristic::kGreedySupport,
+                                par::ScheduleHeuristic::kRoundRobin}) {
+      mc::Cluster cluster(topology);
+      par::ParEclatConfig config;
+      config.minsup = minsup;
+      config.schedule = schedule;
+      config.include_singletons = false;
+      const par::ParallelOutput run = par::par_eclat(cluster, db, config);
+      const bool is_greedy =
+          schedule == par::ScheduleHeuristic::kGreedyWeight;
+      if (is_greedy) greedy_total = run.total_seconds;
+      const char* name = is_greedy ? "greedy-C(s,2)"
+                         : schedule == par::ScheduleHeuristic::kGreedySupport
+                             ? "greedy-support"
+                             : "round-robin";
+      std::printf("%-14s %-14s %12.3f %14.3f %11.2fx\n",
+                  topology.label().c_str(), name, run.total_seconds,
+                  run.phase_seconds.at("asynchronous"),
+                  run.total_seconds / greedy_total);
+    }
+    print_rule();
+  }
+  std::printf("The asynchronous phase absorbs whatever imbalance the heuristic leaves;\n"
+              "C(s,2) only approximates real intersection work, so support-aware\n"
+              "weights (the paper\'s §5.2.1 suggestion) can beat it.\n");
+  return 0;
+}

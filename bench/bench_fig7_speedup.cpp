@@ -1,0 +1,62 @@
+// Figure 7 — "ECLAT Parallel Performance on Different Databases": speedup
+// of parallel Eclat relative to its sequential run, per database, across
+// processor configurations.
+//
+// Paper shape:
+//   - speedups grow with the number of hosts; close to linear in H for
+//     the large databases at P = 1;
+//   - for a fixed total T, configurations with FEWER processors per host
+//     win (e.g. at T = 8, (H=8,P=1) > (H=4,P=2) > (H=2,P=4)) because
+//     host-local disk contention hurts the scan phases;
+//   - bigger databases scale better (higher compute-to-contention ratio).
+//
+//   ./bench_fig7_speedup [--scale=0.02] [--support=0.001] [--databases=3]
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "parallel/par_eclat.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eclat;
+  using namespace eclat::bench;
+  const Flags flags(argc, argv);
+  // Figure 7 runs Eclat only (cheap), so it affords a larger default
+  // scale; fixed communication costs then shrink relative to compute and
+  // the speedup curves extend further before flattening, as in the paper.
+  const double scale = flags.get_double("scale", 0.05);
+  const double support = flags.get_double("support", kPaperSupport);
+  const std::size_t num_databases =
+      static_cast<std::size_t>(flags.get_int("databases", 3));
+
+  std::printf("Figure 7: Eclat speedup vs sequential, support %.2f%%, "
+              "scale %.3g\n",
+              support * 100.0, scale);
+  print_rule('=');
+
+  for (std::size_t d = 0; d < num_databases && d < 4; ++d) {
+    const PaperDatabase& spec = kPaperDatabases[d];
+    const HorizontalDatabase db = make_database(spec, scale);
+    const Count minsup = absolute_support(support, db.size());
+
+    double sequential_seconds = 0.0;
+    std::printf("\nDatabase: %s\n", scaled_name(spec, scale).c_str());
+    std::printf("%-14s %4s %12s %10s\n", "Config", "T", "total(s)",
+                "speedup");
+    print_rule();
+    for (const mc::Topology& topology : paper_topologies()) {
+      mc::Cluster cluster(topology);
+      par::ParEclatConfig config;
+      config.minsup = minsup;
+      config.include_singletons = false;
+      const par::ParallelOutput run = par::par_eclat(cluster, db, config);
+      if (topology.total() == 1) sequential_seconds = run.total_seconds;
+      std::printf("%-14s %4zu %12.2f %9.2fx\n", topology.label().c_str(),
+                  topology.total(), run.total_seconds,
+                  sequential_seconds / run.total_seconds);
+    }
+  }
+  print_rule();
+  std::printf("Expected shape: speedup grows with hosts; at fixed T, "
+              "fewer procs/host is faster (disk contention).\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Table 1 — "Database properties": |D|, |T|, |I| and on-disk size of the
+// four T10.I6 evaluation databases.
+//
+// Paper values (at scale 1.0):
+//   T10.I6.D800K   |D| = 800,000    |T| = 10  |I| = 6   35 MB
+//   T10.I6.D1600K  |D| = 1,600,000  |T| = 10  |I| = 6   68 MB
+//   T10.I6.D3200K  |D| = 3,200,000  |T| = 10  |I| = 6  138 MB
+//   T10.I6.D6400K  |D| = 6,400,000  |T| = 10  |I| = 6  274 MB
+//
+//   ./bench_table1_databases [--scale=0.02]
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eclat;
+  using namespace eclat::bench;
+  const Flags flags(argc, argv);
+  const double scale = flags.get_double("scale", 0.02);
+
+  std::printf("Table 1: database properties (scale %.3g of paper sizes)\n",
+              scale);
+  print_rule('=');
+  std::printf("%-24s %12s %6s %6s %12s %14s\n", "Database", "|D|", "|T|",
+              "|I|", "size (MB)", "paper MB/scale");
+  print_rule();
+
+  const double paper_mb[] = {35, 68, 138, 274};
+  int row = 0;
+  for (const PaperDatabase& spec : kPaperDatabases) {
+    const HorizontalDatabase db = make_database(spec, scale);
+    const DatabaseStats stats = compute_stats(db);
+    std::printf("%-24s %12zu %6.1f %6d %12.2f %14.2f\n",
+                scaled_name(spec, scale).c_str(), stats.num_transactions,
+                stats.avg_transaction_length, 6,
+                static_cast<double>(stats.byte_size) / 1e6,
+                paper_mb[row] * scale);
+    ++row;
+  }
+  print_rule();
+  std::printf("N = 1000 items, |L| = 2000 maximal potentially frequent "
+              "itemsets (paper parameters).\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Shared helpers for the benchmark binaries that regenerate the paper's
+// tables and figures.
+//
+// The paper's databases are T10.I6.D800K … T10.I6.D6400K (N = 1000 items,
+// |L| = 2000 patterns, minsup 0.1%). The benchmarks default to a 1/50
+// scale (D16K … D128K) so a full sweep finishes on a laptop; pass
+// --scale=1.0 to regenerate at paper size. Scaling |D| leaves the paper's
+// *relative* behaviour intact: support is relative (0.1%), and every
+// modeled cost is linear in bytes.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "common/result.hpp"
+#include "data/horizontal.hpp"
+#include "gen/quest.hpp"
+#include "mc/topology.hpp"
+
+namespace eclat::bench {
+
+/// The paper's four evaluation databases, |D| in thousands at scale 1.
+struct PaperDatabase {
+  const char* name;          ///< paper's label
+  std::size_t transactions;  ///< |D| at scale 1.0
+};
+
+inline constexpr PaperDatabase kPaperDatabases[] = {
+    {"T10.I6.D800K", 800'000},
+    {"T10.I6.D1600K", 1'600'000},
+    {"T10.I6.D3200K", 3'200'000},
+    {"T10.I6.D6400K", 6'400'000},
+};
+
+/// The paper's evaluation support: 0.1%.
+inline constexpr double kPaperSupport = 0.001;
+
+/// Generate a paper database at the given scale (same generator seed per
+/// database name, so repeated benchmark runs see identical data).
+inline HorizontalDatabase make_database(const PaperDatabase& spec,
+                                        double scale) {
+  gen::QuestConfig config;  // defaults are the paper's T10.I6 parameters
+  config.num_transactions = static_cast<std::size_t>(
+      static_cast<double>(spec.transactions) * scale);
+  config.seed = 1997 + spec.transactions;  // stable per database
+  return gen::QuestGenerator(config).generate();
+}
+
+inline std::string scaled_name(const PaperDatabase& spec, double scale) {
+  if (scale == 1.0) return spec.name;
+  const std::size_t d = static_cast<std::size_t>(
+      static_cast<double>(spec.transactions) * scale);
+  return std::string(spec.name) + " @ " + std::to_string(d / 1000) + "K";
+}
+
+/// The processor configurations of the paper's Table 2 / Figure 7
+/// (P = processors per host, H = hosts).
+inline std::vector<mc::Topology> paper_topologies() {
+  return {
+      {1, 1},  // sequential baseline
+      {2, 1}, {2, 2}, {4, 1}, {2, 4}, {4, 2},
+      {8, 1}, {4, 4}, {8, 2}, {8, 4},  // up to T = 32
+  };
+}
+
+inline void print_rule(char fill = '-', int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar(fill);
+  std::putchar('\n');
+}
+
+}  // namespace eclat::bench

@@ -1,0 +1,59 @@
+// Public facade of the library: one include for the common "mine this
+// database" workflows. Power users can target the per-module headers
+// directly (eclat/, apriori/, parallel/, rules/).
+#pragma once
+
+#include <string>
+
+#include "apriori/apriori.hpp"
+#include "apriori/dhp.hpp"
+#include "common/result.hpp"
+#include "data/horizontal.hpp"
+#include "eclat/eclat_seq.hpp"
+#include "mc/cluster.hpp"
+#include "parallel/count_distribution.hpp"
+#include "parallel/hybrid.hpp"
+#include "parallel/par_eclat.hpp"
+#include "partition/partition.hpp"
+#include "rules/rules.hpp"
+
+namespace eclat::api {
+
+enum class Algorithm : std::uint8_t {
+  kEclat,                  ///< sequential Eclat (the default)
+  kEclatDiffsets,          ///< sequential Eclat with dEclat diffsets
+  kApriori,                ///< sequential Apriori
+  kDhp,                    ///< Apriori + DHP hash filtering
+  kPartition,              ///< two-scan Partition algorithm
+  kParEclat,               ///< parallel Eclat on a simulated cluster
+  kHybridEclat,            ///< host-aware parallel Eclat (paper §8.1)
+  kCountDistribution,      ///< parallel Apriori baseline
+};
+
+struct MineOptions {
+  Algorithm algorithm = Algorithm::kEclat;
+  /// Relative minimum support (0.001 = the paper's 0.1%).
+  double min_support = 0.01;
+  /// Cluster shape for the parallel algorithms; ignored by sequential ones.
+  mc::Topology topology{1, 1};
+  mc::CostModel cost;
+};
+
+/// Mine all frequent itemsets of `db`.
+MiningResult mine(const HorizontalDatabase& db, const MineOptions& options);
+
+/// Mine and also report virtual-time accounting (parallel algorithms) or
+/// just the result with zero timing (sequential).
+par::ParallelOutput mine_with_stats(const HorizontalDatabase& db,
+                                    const MineOptions& options);
+
+/// End-to-end KDD pipeline: frequent itemsets, then confident rules.
+std::vector<AssociationRule> mine_rules(const HorizontalDatabase& db,
+                                        const MineOptions& options,
+                                        double min_confidence);
+
+/// Parse an algorithm name ("eclat", "declat", "apriori", "dhp",
+/// "partition", "pareclat", "hybrid", "cd").
+Algorithm parse_algorithm(const std::string& name);
+
+}  // namespace eclat::api

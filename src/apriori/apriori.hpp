@@ -1,0 +1,30 @@
+// Sequential Apriori (paper §2, Agrawal & Srikant 1994): the level-wise
+// algorithm every parallel baseline in the paper builds on. One database
+// scan per level; candidates live in a hash tree for fast subset counting.
+#pragma once
+
+#include <span>
+
+#include "common/result.hpp"
+#include "data/horizontal.hpp"
+#include "hashtree/hash_tree.hpp"
+
+namespace eclat {
+
+struct AprioriConfig {
+  Count minsup = 1;          ///< absolute minimum support (transactions)
+  bool prune = true;         ///< (k-1)-subset pruning of candidates
+  bool triangle_l2 = true;   ///< count C2 in a triangular array (paper §5.1)
+                             ///< rather than a depth-2 hash tree
+  bool balanced_tree = true; ///< CCPD hash-tree balancing
+  HashTreeConfig tree;       ///< hash-tree tuning knobs
+};
+
+/// Mine all frequent itemsets of `db` with sequential Apriori.
+MiningResult apriori(const HorizontalDatabase& db, const AprioriConfig& config);
+
+/// Frequency of each single item over a span of transactions (the L1 scan).
+std::vector<Count> count_items(std::span<const Transaction> transactions,
+                               Item num_items);
+
+}  // namespace eclat

@@ -1,0 +1,74 @@
+#include "apriori/candidate_gen.hpp"
+
+#include <algorithm>
+
+namespace eclat {
+
+std::size_t ItemsetHash::operator()(const Itemset& itemset) const {
+  std::size_t hash = 1469598103934665603ULL;  // FNV offset basis
+  for (Item item : itemset) {
+    hash ^= item;
+    hash *= 1099511628211ULL;  // FNV prime
+  }
+  return hash;
+}
+
+std::vector<Itemset> join_level(std::span<const Itemset> level) {
+  std::vector<Itemset> candidates;
+  if (level.empty()) return candidates;
+  const std::size_t k_minus_1 = level.front().size();
+
+  // Members sharing a (k-2)-prefix are adjacent because the level is
+  // sorted, so scan runs of equal prefixes and join all pairs inside each.
+  std::size_t run_begin = 0;
+  while (run_begin < level.size()) {
+    std::size_t run_end = run_begin + 1;
+    while (run_end < level.size() &&
+           std::equal(level[run_begin].begin(),
+                      level[run_begin].end() - 1,
+                      level[run_end].begin())) {
+      ++run_end;
+    }
+    for (std::size_t i = run_begin; i < run_end; ++i) {
+      for (std::size_t j = i + 1; j < run_end; ++j) {
+        Itemset candidate = level[i];
+        candidate.push_back(level[j][k_minus_1 - 1]);
+        candidates.push_back(std::move(candidate));
+      }
+    }
+    run_begin = run_end;
+  }
+  return candidates;
+}
+
+std::vector<Itemset> prune_candidates(std::vector<Itemset> candidates,
+                                      const ItemsetSet& frequent) {
+  std::vector<Itemset> kept;
+  kept.reserve(candidates.size());
+  Itemset subset;
+  for (Itemset& candidate : candidates) {
+    bool all_frequent = true;
+    subset.assign(candidate.begin() + 1, candidate.end());
+    // Rotate each position out in turn: subset starts as the candidate
+    // minus its first item, and each step swaps the removed position.
+    for (std::size_t drop = 0; drop < candidate.size(); ++drop) {
+      if (drop > 0) subset[drop - 1] = candidate[drop - 1];
+      if (frequent.find(subset) == frequent.end()) {
+        all_frequent = false;
+        break;
+      }
+    }
+    if (all_frequent) kept.push_back(std::move(candidate));
+  }
+  return kept;
+}
+
+std::vector<Itemset> generate_candidates(std::span<const Itemset> level,
+                                         bool prune) {
+  std::vector<Itemset> candidates = join_level(level);
+  if (!prune || level.empty() || level.front().size() < 2) return candidates;
+  ItemsetSet frequent(level.begin(), level.end());
+  return prune_candidates(std::move(candidates), frequent);
+}
+
+}  // namespace eclat

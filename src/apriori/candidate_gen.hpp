@@ -1,0 +1,36 @@
+// Level-wise candidate generation (paper §2): Ck is produced by joining
+// Lk-1 with itself on a shared (k-2)-prefix, then pruning any candidate
+// with an infrequent (k-1)-subset.
+#pragma once
+
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace eclat {
+
+/// FNV-1a hash over an itemset's items, for subset-pruning lookups.
+struct ItemsetHash {
+  std::size_t operator()(const Itemset& itemset) const;
+};
+
+using ItemsetSet = std::unordered_set<Itemset, ItemsetHash>;
+
+/// Join step: every pair in `level` sharing the first k-2 items yields one
+/// k-candidate. `level` must be sorted lexicographically and all members
+/// must have equal length k-1 >= 1.
+std::vector<Itemset> join_level(std::span<const Itemset> level);
+
+/// Prune step: drop candidates having any (k-1)-subset outside `frequent`.
+/// (Only the k-2 subsets not used by the join need checking, but we test
+/// all k for clarity; the two extra lookups are O(1).)
+std::vector<Itemset> prune_candidates(std::vector<Itemset> candidates,
+                                      const ItemsetSet& frequent);
+
+/// Convenience: join + (optionally) prune.
+std::vector<Itemset> generate_candidates(std::span<const Itemset> level,
+                                         bool prune);
+
+}  // namespace eclat

@@ -1,0 +1,44 @@
+// DHP — the Direct Hashing and Pruning algorithm (Park, Chen & Yu, SIGMOD
+// 1995), reference [11] of the paper and the algorithm its parallel
+// cousin PDM [12] builds on. Included as the related-work baseline the
+// paper compares against conceptually ("both PDM and DHP perform worse
+// than Count Distribution and Apriori").
+//
+// Two ideas on top of Apriori:
+//   1. *Hash filtering*: while scanning for Lk, every (k+1)-subset of each
+//      transaction is hashed into a bucket-count table. A (k+1)-candidate
+//      can only be frequent if its bucket total reaches minsup, so the
+//      next level's candidate set shrinks before it is ever counted.
+//   2. *Transaction trimming*: items that stop appearing in surviving
+//      candidates are dropped from the working copy of each transaction.
+#pragma once
+
+#include "common/result.hpp"
+#include "data/horizontal.hpp"
+#include "hashtree/hash_tree.hpp"
+
+namespace eclat {
+
+struct DhpConfig {
+  Count minsup = 1;
+  std::size_t hash_buckets = 1 << 16;  ///< pair/triple filter table size
+  bool trim_transactions = true;       ///< drop dead items between levels
+  HashTreeConfig tree;                 ///< counting structure for k >= 3
+};
+
+struct DhpStats {
+  std::size_t c2_unfiltered = 0;  ///< candidate pairs Apriori would count
+  std::size_t c2_filtered = 0;    ///< pairs surviving the hash filter
+  std::size_t c3_unfiltered = 0;  ///< 3-candidates before the filter
+  std::size_t c3_filtered = 0;    ///< after
+  std::size_t items_trimmed = 0;  ///< items dropped by trimming
+};
+
+/// Mine all frequent itemsets with DHP. Identical results to Apriori.
+MiningResult dhp(const HorizontalDatabase& db, const DhpConfig& config,
+                 DhpStats* stats = nullptr);
+
+/// The bucket index DHP hashes an itemset into (exposed for tests).
+std::size_t dhp_bucket(const Itemset& itemset, std::size_t buckets);
+
+}  // namespace eclat

@@ -1,0 +1,34 @@
+// Clique-Eclat: sequential Eclat driven by clique-refined classes instead
+// of prefix equivalence classes (the "Clique" algorithm of the companion
+// report [18]). Same three-phase structure as eclat_sequential; candidate
+// sub-lattices are restricted to maximal cliques of the L2 graph, so
+// fewer impossible candidates are ever intersected. Since one itemset can
+// live in several maximal cliques, results are deduplicated.
+#pragma once
+
+#include "common/result.hpp"
+#include "data/horizontal.hpp"
+#include "eclat/compute_frequent.hpp"
+
+namespace eclat {
+
+struct CliqueEclatConfig {
+  Count minsup = 1;
+  IntersectKernel kernel = IntersectKernel::kMergeShortCircuit;
+  bool include_singletons = true;
+  std::size_t max_cliques_per_prefix = 256;  ///< fall-back threshold
+};
+
+struct CliqueEclatStats {
+  std::size_t plain_classes = 0;    ///< prefix classes (Eclat's clusters)
+  std::size_t clique_subclasses = 0;
+  std::size_t plain_weight = 0;     ///< Σ C(s,2) over prefix classes
+  std::size_t clique_weight = 0;    ///< Σ C(s,2) over clique classes
+  std::size_t duplicates = 0;       ///< itemsets found in several cliques
+};
+
+MiningResult clique_eclat(const HorizontalDatabase& db,
+                          const CliqueEclatConfig& config,
+                          CliqueEclatStats* stats = nullptr);
+
+}  // namespace eclat

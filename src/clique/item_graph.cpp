@@ -1,0 +1,144 @@
+#include "clique/item_graph.hpp"
+
+#include <algorithm>
+
+namespace eclat {
+
+ItemGraph::ItemGraph(std::span<const PairKey> edges) {
+  for (PairKey key : edges) {
+    max_item_ = std::max<std::size_t>(
+        max_item_, std::max(pair_first(key), pair_second(key)));
+  }
+  adjacency_.resize(max_item_ + 1);
+  for (PairKey key : edges) {
+    adjacency_[pair_first(key)].push_back(pair_second(key));
+    adjacency_[pair_second(key)].push_back(pair_first(key));
+    ++edge_count_;
+  }
+  for (Item v = 0; v <= max_item_; ++v) {
+    auto& row = adjacency_[v];
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+    if (!row.empty()) vertices_.push_back(v);
+  }
+}
+
+bool ItemGraph::adjacent(Item a, Item b) const {
+  if (a >= adjacency_.size()) return false;
+  const auto& row = adjacency_[a];
+  return std::binary_search(row.begin(), row.end(), b);
+}
+
+std::span<const Item> ItemGraph::neighbors(Item vertex) const {
+  if (vertex >= adjacency_.size()) return {};
+  return adjacency_[vertex];
+}
+
+namespace {
+
+/// Bron-Kerbosch with pivoting over sorted vertex vectors.
+struct BronKerbosch {
+  const ItemGraph& graph;
+  std::size_t max_cliques;
+  const std::function<void(const Itemset&)>& emit;
+  std::size_t emitted = 0;
+
+  bool run(Itemset& r, std::vector<Item> p, std::vector<Item> x) {
+    if (p.empty() && x.empty()) {
+      if (emitted == max_cliques) return false;
+      ++emitted;
+      Itemset clique = r;
+      std::sort(clique.begin(), clique.end());
+      emit(clique);
+      return true;
+    }
+    // Pivot: the vertex of P ∪ X with the most neighbours in P minimizes
+    // the branching set P \ N(pivot).
+    Item pivot = 0;
+    std::size_t best = 0;
+    bool have_pivot = false;
+    for (const std::vector<Item>* side : {&p, &x}) {
+      for (Item u : *side) {
+        std::size_t hits = 0;
+        for (Item v : p) {
+          if (graph.adjacent(u, v)) ++hits;
+        }
+        if (!have_pivot || hits > best) {
+          pivot = u;
+          best = hits;
+          have_pivot = true;
+        }
+      }
+    }
+
+    std::vector<Item> branch;
+    for (Item v : p) {
+      if (!graph.adjacent(pivot, v)) branch.push_back(v);
+    }
+    for (Item v : branch) {
+      std::vector<Item> p_next;
+      std::vector<Item> x_next;
+      for (Item w : p) {
+        if (graph.adjacent(v, w)) p_next.push_back(w);
+      }
+      for (Item w : x) {
+        if (graph.adjacent(v, w)) x_next.push_back(w);
+      }
+      r.push_back(v);
+      const bool keep_going = run(r, std::move(p_next), std::move(x_next));
+      r.pop_back();
+      if (!keep_going) return false;
+      // Move v from P to X.
+      p.erase(std::find(p.begin(), p.end(), v));
+      x.push_back(v);
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+bool maximal_cliques(const ItemGraph& graph, std::span<const Item> subset,
+                     std::size_t max_cliques,
+                     const std::function<void(const Itemset&)>& emit) {
+  BronKerbosch search{graph, max_cliques, emit};
+  Itemset r;
+  return search.run(r, std::vector<Item>(subset.begin(), subset.end()), {});
+}
+
+std::vector<CliqueClass> clique_classes(
+    std::span<const PairKey> frequent_pairs,
+    std::size_t max_cliques_per_prefix) {
+  const ItemGraph graph(frequent_pairs);
+  std::vector<CliqueClass> classes;
+
+  for (Item prefix : graph.vertices()) {
+    // Larger neighbours of the prefix: the plain class [prefix].
+    std::vector<Item> larger;
+    for (Item v : graph.neighbors(prefix)) {
+      if (v > prefix) larger.push_back(v);
+    }
+    if (larger.empty()) continue;
+
+    std::vector<CliqueClass> refined;
+    const bool complete = maximal_cliques(
+        graph, larger, max_cliques_per_prefix, [&](const Itemset& clique) {
+          refined.push_back(
+              CliqueClass{prefix, std::vector<Item>(clique.begin(),
+                                                    clique.end())});
+        });
+    if (!complete) {
+      // Clique blow-up: fall back to the coarse prefix class.
+      classes.push_back(CliqueClass{prefix, std::move(larger)});
+      continue;
+    }
+    std::sort(refined.begin(), refined.end(),
+              [](const CliqueClass& a, const CliqueClass& b) {
+                return lex_less(a.members, b.members);
+              });
+    for (CliqueClass& sub : refined) classes.push_back(std::move(sub));
+  }
+  return classes;
+}
+
+}  // namespace eclat

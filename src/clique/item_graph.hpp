@@ -1,0 +1,72 @@
+// The L2 item graph and maximal-clique machinery behind the "Clique"
+// family of algorithms in the paper's companion report [18] (Zaki et al.,
+// "New Algorithms for Fast Discovery of Association Rules", URCS TR 651).
+//
+// Vertices are items, edges are frequent 2-itemsets. Every frequent
+// itemset induces a clique in this graph (downward closure makes all its
+// pairs frequent), so the maximal cliques bound the search space more
+// tightly than prefix-based equivalence classes: a class [a] splits into
+// one sub-class per maximal clique through a, and candidates are only
+// generated inside cliques.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "vertical/vertical_db.hpp"
+
+namespace eclat {
+
+/// Undirected graph over item ids with O(1) adjacency tests.
+class ItemGraph {
+ public:
+  /// Build from frequent pairs (vertices are all items mentioned).
+  explicit ItemGraph(std::span<const PairKey> edges);
+
+  bool adjacent(Item a, Item b) const;
+
+  /// Sorted neighbours of `vertex` (empty for unknown vertices).
+  std::span<const Item> neighbors(Item vertex) const;
+
+  /// Sorted list of vertices with at least one edge.
+  std::span<const Item> vertices() const { return vertices_; }
+
+  std::size_t edge_count() const { return edge_count_; }
+
+ private:
+  std::vector<Item> vertices_;
+  std::vector<std::vector<Item>> adjacency_;  // indexed by item id
+  std::size_t max_item_ = 0;
+  std::size_t edge_count_ = 0;
+};
+
+/// All maximal cliques of `graph` restricted to the vertex set `subset`
+/// (Bron-Kerbosch with pivoting). Cliques are emitted as sorted itemsets.
+/// Enumeration aborts (returns false) once `max_cliques` have been
+/// emitted — the caller then falls back to coarser clustering.
+bool maximal_cliques(const ItemGraph& graph, std::span<const Item> subset,
+                     std::size_t max_cliques,
+                     const std::function<void(const Itemset&)>& emit);
+
+/// Clique-refined equivalence classes: for every prefix item a, the
+/// maximal cliques of the subgraph induced on a's larger neighbours each
+/// yield one sub-class (a, clique members). Falls back to the plain
+/// prefix class when a prefix's clique count exceeds `max_cliques_per_
+/// prefix`. Classes come out sorted by (prefix, members).
+struct CliqueClass {
+  Item prefix = 0;
+  std::vector<Item> members;  // sorted, all > prefix
+
+  std::size_t weight() const {
+    return members.size() < 2 ? 0 : members.size() * (members.size() - 1) / 2;
+  }
+};
+
+std::vector<CliqueClass> clique_classes(
+    std::span<const PairKey> frequent_pairs,
+    std::size_t max_cliques_per_prefix = 256);
+
+}  // namespace eclat

@@ -1,0 +1,20 @@
+#include "common/clock.hpp"
+
+#include <ctime>
+
+namespace eclat {
+namespace {
+
+std::int64_t read_clock(clockid_t id) {
+  timespec ts{};
+  clock_gettime(id, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000LL + ts.tv_nsec;
+}
+
+}  // namespace
+
+std::int64_t thread_cpu_ns() { return read_clock(CLOCK_THREAD_CPUTIME_ID); }
+
+std::int64_t wall_ns() { return read_clock(CLOCK_MONOTONIC); }
+
+}  // namespace eclat

@@ -1,0 +1,49 @@
+// Timing utilities: wall clock, per-thread CPU clock (used to charge compute
+// work to a simulated processor's virtual clock), and a simple stopwatch.
+#pragma once
+
+#include <cstdint>
+
+namespace eclat {
+
+/// Nanoseconds of CPU time consumed by the *calling thread* so far.
+/// Backed by CLOCK_THREAD_CPUTIME_ID, so it excludes time the thread spends
+/// descheduled — exactly what the virtual-time cluster simulation needs on
+/// an oversubscribed host.
+std::int64_t thread_cpu_ns();
+
+/// Nanoseconds of monotonic wall-clock time.
+std::int64_t wall_ns();
+
+/// Measures elapsed thread-CPU time between construction/reset and now.
+class CpuStopwatch {
+ public:
+  CpuStopwatch() : start_ns_(thread_cpu_ns()) {}
+
+  void reset() { start_ns_ = thread_cpu_ns(); }
+
+  /// Elapsed thread-CPU nanoseconds since the last reset.
+  std::int64_t elapsed_ns() const { return thread_cpu_ns() - start_ns_; }
+
+ private:
+  std::int64_t start_ns_;
+};
+
+/// Measures elapsed wall-clock time between construction/reset and now.
+class WallStopwatch {
+ public:
+  WallStopwatch() : start_ns_(wall_ns()) {}
+
+  void reset() { start_ns_ = wall_ns(); }
+
+  std::int64_t elapsed_ns() const { return wall_ns() - start_ns_; }
+
+  double elapsed_seconds() const {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  std::int64_t start_ns_;
+};
+
+}  // namespace eclat

@@ -1,0 +1,32 @@
+// Minimal command-line flag parsing for the example and benchmark binaries.
+//
+// Syntax: "--name=value" or "--name value"; bare "--name" sets a boolean.
+// Unrecognized arguments are kept as positional arguments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eclat {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace eclat

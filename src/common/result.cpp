@@ -1,0 +1,23 @@
+#include "common/result.hpp"
+
+#include <cmath>
+
+namespace eclat {
+
+void normalize(MiningResult& result) {
+  std::sort(result.itemsets.begin(), result.itemsets.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return lex_less(a.items, b.items);
+            });
+}
+
+Count absolute_support(double fraction, std::size_t num_transactions) {
+  const double raw = fraction * static_cast<double>(num_transactions);
+  const Count support = static_cast<Count>(std::ceil(raw));
+  return support == 0 ? 1 : support;
+}
+
+}  // namespace eclat

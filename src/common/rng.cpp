@@ -1,0 +1,99 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace eclat {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless rejection method on the high 64 bits of a
+  // 128-bit product.
+  while (true) {
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>(next()) * bound;
+    const std::uint64_t low = static_cast<std::uint64_t>(product);
+    if (low >= bound || low >= (-bound) % bound) {
+      return static_cast<std::uint64_t>(product >> 64);
+    }
+  }
+}
+
+double Rng::uniform() {
+  // 53 random bits -> [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+double Rng::exponential(double mean) {
+  double u;
+  do {
+    u = uniform();
+  } while (u == 0.0);
+  return -mean * std::log(u);
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth: multiply uniforms until the product drops below e^-mean.
+    const double threshold = std::exp(-mean);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > threshold);
+    return k - 1;
+  }
+  const double value = std::round(mean + std::sqrt(mean) * normal());
+  return value <= 0.0 ? 0 : static_cast<std::uint64_t>(value);
+}
+
+double Rng::normal() {
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 == 0.0);
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+Rng Rng::split() {
+  std::uint64_t seed = next() ^ 0xd3833e804f4c574bULL;
+  return Rng(splitmix64(seed));
+}
+
+}  // namespace eclat

@@ -1,0 +1,58 @@
+// Deterministic pseudo-random generation for the synthetic-data generator
+// and the test suite.
+//
+// We ship our own xoshiro256** instead of <random> engines because the
+// standard does not pin down distribution algorithms across library
+// implementations; reproducibility of the generated databases (and hence of
+// every benchmark table) requires bit-exact streams everywhere.
+#pragma once
+
+#include <cstdint>
+
+namespace eclat {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+/// Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Exponential variate with the given mean (mean > 0).
+  double exponential(double mean);
+
+  /// Poisson variate with the given mean. Uses Knuth's method for small
+  /// means and a normal approximation (rounded, clamped at 0) for large.
+  std::uint64_t poisson(double mean);
+
+  /// Standard normal variate (Box-Muller, one value per call).
+  double normal();
+
+  /// Fork an independent stream; children of distinct calls never collide
+  /// in practice (seeded from the parent stream via splitmix64 scrambling).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace eclat

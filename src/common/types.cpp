@@ -1,0 +1,32 @@
+#include "common/types.hpp"
+
+#include <algorithm>
+
+namespace eclat {
+
+std::string to_string(const Itemset& itemset) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < itemset.size(); ++i) {
+    if (i != 0) out += ' ';
+    out += std::to_string(itemset[i]);
+  }
+  out += '}';
+  return out;
+}
+
+bool is_sorted_itemset(const Itemset& itemset) {
+  for (std::size_t i = 1; i < itemset.size(); ++i) {
+    if (itemset[i - 1] >= itemset[i]) return false;
+  }
+  return true;
+}
+
+bool is_subset(const Itemset& sub, const Itemset& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+bool lex_less(const Itemset& a, const Itemset& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+}  // namespace eclat

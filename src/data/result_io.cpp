@@ -1,0 +1,119 @@
+#include "data/result_io.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace eclat {
+namespace {
+
+constexpr char kMagic[8] = {'E', 'C', 'L', 'A', 'T', 'R', 'E', 'S'};
+
+template <typename T>
+void write_pod(std::ostream& stream, const T& value) {
+  stream.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& stream) {
+  T value{};
+  stream.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!stream) throw std::runtime_error("truncated result file");
+  return value;
+}
+
+}  // namespace
+
+void write_result(const MiningResult& result, std::ostream& stream) {
+  stream.write(kMagic, sizeof(kMagic));
+  write_pod<std::uint64_t>(stream, result.itemsets.size());
+  for (const FrequentItemset& f : result.itemsets) {
+    write_pod<std::uint32_t>(stream,
+                             static_cast<std::uint32_t>(f.items.size()));
+    stream.write(reinterpret_cast<const char*>(f.items.data()),
+                 static_cast<std::streamsize>(f.items.size() * sizeof(Item)));
+    write_pod<Count>(stream, f.support);
+  }
+  if (!stream) throw std::runtime_error("failed to write result");
+}
+
+MiningResult read_result(std::istream& stream) {
+  char magic[8];
+  stream.read(magic, sizeof(magic));
+  if (!stream || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("not an ECLATRES result file");
+  }
+  MiningResult result;
+  const auto count = read_pod<std::uint64_t>(stream);
+  result.itemsets.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    FrequentItemset f;
+    const auto length = read_pod<std::uint32_t>(stream);
+    f.items.resize(length);
+    stream.read(reinterpret_cast<char*>(f.items.data()),
+                static_cast<std::streamsize>(length * sizeof(Item)));
+    if (!stream) throw std::runtime_error("truncated result file");
+    if (!is_sorted_itemset(f.items)) {
+      throw std::runtime_error("corrupt result file: unsorted itemset");
+    }
+    f.support = read_pod<Count>(stream);
+    result.itemsets.push_back(std::move(f));
+  }
+  for (std::size_t k = 1; k <= result.max_size(); ++k) {
+    result.levels.push_back(LevelStats{k, 0, result.count_of_size(k)});
+  }
+  return result;
+}
+
+void write_result_file(const MiningResult& result, const std::string& path) {
+  std::ofstream stream(path, std::ios::binary);
+  if (!stream) throw std::runtime_error("cannot open for write: " + path);
+  write_result(result, stream);
+}
+
+MiningResult read_result_file(const std::string& path) {
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) throw std::runtime_error("cannot open for read: " + path);
+  return read_result(stream);
+}
+
+void write_result_text(const MiningResult& result, std::ostream& stream) {
+  for (const FrequentItemset& f : result.itemsets) {
+    for (std::size_t i = 0; i < f.items.size(); ++i) {
+      if (i != 0) stream << ' ';
+      stream << f.items[i];
+    }
+    stream << " #SUP: " << f.support << '\n';
+  }
+}
+
+MiningResult read_result_text(std::istream& stream) {
+  MiningResult result;
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    const auto marker = line.find("#SUP:");
+    if (marker == std::string::npos) {
+      throw std::runtime_error("missing #SUP: marker: " + line);
+    }
+    FrequentItemset f;
+    std::istringstream items(line.substr(0, marker));
+    Item item;
+    while (items >> item) f.items.push_back(item);
+    std::sort(f.items.begin(), f.items.end());
+    std::istringstream support(line.substr(marker + 5));
+    if (!(support >> f.support)) {
+      throw std::runtime_error("bad support value: " + line);
+    }
+    result.itemsets.push_back(std::move(f));
+  }
+  normalize(result);
+  for (std::size_t k = 1; k <= result.max_size(); ++k) {
+    result.levels.push_back(LevelStats{k, 0, result.count_of_size(k)});
+  }
+  return result;
+}
+
+}  // namespace eclat

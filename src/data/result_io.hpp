@@ -1,0 +1,30 @@
+// Persistence for mining results, so a long mining run can be stored and
+// post-processed (rule generation, diffing, plotting) without re-mining.
+//
+// Binary format ("ECLATRES"):
+//   magic              8 bytes
+//   num_itemsets       u64
+//   repeated: item_count u32, items u32*, support u64
+//
+// Text format: the SPMF convention — items space-separated, then
+// " #SUP: <count>" — interoperable with other mining tool chains.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.hpp"
+
+namespace eclat {
+
+void write_result(const MiningResult& result, std::ostream& stream);
+MiningResult read_result(std::istream& stream);
+
+void write_result_file(const MiningResult& result, const std::string& path);
+MiningResult read_result_file(const std::string& path);
+
+/// SPMF-style text ("1 5 9 #SUP: 42" per line).
+void write_result_text(const MiningResult& result, std::ostream& stream);
+MiningResult read_result_text(std::istream& stream);
+
+}  // namespace eclat

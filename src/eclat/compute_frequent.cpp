@@ -1,0 +1,67 @@
+#include "eclat/compute_frequent.hpp"
+
+#include <algorithm>
+
+namespace eclat {
+
+std::optional<TidList> intersect_with_kernel(const TidList& a,
+                                             const TidList& b, Count minsup,
+                                             IntersectKernel kernel,
+                                             IntersectStats* stats) {
+  if (stats) {
+    ++stats->intersections;
+    stats->tids_scanned += a.size() + b.size();
+  }
+  switch (kernel) {
+    case IntersectKernel::kMergeShortCircuit: {
+      std::optional<TidList> result = intersect_short_circuit(a, b, minsup);
+      if (stats && !result) ++stats->short_circuited;
+      return result;
+    }
+    case IntersectKernel::kGallop: {
+      TidList result = intersect_gallop(a, b);
+      if (result.size() < minsup) return std::nullopt;
+      return result;
+    }
+    case IntersectKernel::kMerge:
+    default: {
+      TidList result = intersect(a, b);
+      if (result.size() < minsup) return std::nullopt;
+      return result;
+    }
+  }
+}
+
+void compute_frequent(const std::vector<Atom>& class_atoms, Count minsup,
+                      IntersectKernel kernel,
+                      std::vector<FrequentItemset>& out,
+                      std::vector<std::size_t>& size_histogram,
+                      IntersectStats* stats) {
+  if (class_atoms.size() < 2) return;
+
+  // Joining atom i with every atom j > i yields the child equivalence
+  // class prefixed by atom i's itemset; recurse depth-first so at most one
+  // child class per level is alive (paper §5.3).
+  for (std::size_t i = 0; i + 1 < class_atoms.size(); ++i) {
+    std::vector<Atom> child_class;
+    for (std::size_t j = i + 1; j < class_atoms.size(); ++j) {
+      std::optional<TidList> tids = intersect_with_kernel(
+          class_atoms[i].tids, class_atoms[j].tids, minsup, kernel, stats);
+      if (!tids) continue;
+
+      Atom child;
+      child.items = class_atoms[i].items;
+      child.items.push_back(class_atoms[j].items.back());
+      child.tids = std::move(*tids);
+
+      const std::size_t size = child.items.size();
+      if (size_histogram.size() <= size) size_histogram.resize(size + 1, 0);
+      ++size_histogram[size];
+      out.push_back(FrequentItemset{child.items, child.support()});
+      child_class.push_back(std::move(child));
+    }
+    compute_frequent(child_class, minsup, kernel, out, size_histogram, stats);
+  }
+}
+
+}  // namespace eclat

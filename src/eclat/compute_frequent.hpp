@@ -1,0 +1,58 @@
+// The Compute_Frequent procedure (paper Figure 3): bottom-up, depth-first
+// enumeration of all frequent itemsets derivable from one equivalence
+// class, by pairwise tid-list intersection. Only the atoms of one class at
+// one level are alive at a time, which is what makes Eclat main-memory
+// frugal (paper §5.3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "vertical/tidlist.hpp"
+
+namespace eclat {
+
+/// Intersection kernel selection (the merge kernel supports the paper's
+/// short-circuit optimization; galloping is the ablation alternative).
+enum class IntersectKernel : std::uint8_t {
+  kMerge,
+  kMergeShortCircuit,  // the paper's default
+  kGallop,
+};
+
+/// An itemset together with its tid-list — the unit the recursion works on.
+struct Atom {
+  Itemset items;
+  TidList tids;
+
+  Count support() const { return tids.size(); }
+};
+
+/// Counters the ablation benchmarks read back.
+struct IntersectStats {
+  std::uint64_t intersections = 0;    ///< kernel invocations
+  std::uint64_t short_circuited = 0;  ///< aborted early by the bound
+  std::uint64_t tids_scanned = 0;     ///< total input elements consumed
+};
+
+/// Enumerate all frequent itemsets strictly larger than the atoms of
+/// `class_atoms` (which must share a common prefix of all but the last
+/// item, be sorted lexicographically, and all meet `minsup` already).
+/// Found itemsets are appended to `out`; per-size counts are accumulated
+/// into `size_histogram` (index = itemset size; grown on demand).
+void compute_frequent(const std::vector<Atom>& class_atoms, Count minsup,
+                      IntersectKernel kernel,
+                      std::vector<FrequentItemset>& out,
+                      std::vector<std::size_t>& size_histogram,
+                      IntersectStats* stats = nullptr);
+
+/// Single intersection through the selected kernel. Returns an empty
+/// optional when the result provably misses `minsup`.
+std::optional<TidList> intersect_with_kernel(const TidList& a,
+                                             const TidList& b, Count minsup,
+                                             IntersectKernel kernel,
+                                             IntersectStats* stats);
+
+}  // namespace eclat

@@ -1,0 +1,111 @@
+#include "eclat/diffsets.hpp"
+
+namespace eclat {
+
+std::optional<TidList> difference_bounded(std::span<const Tid> a,
+                                          std::span<const Tid> b,
+                                          std::size_t max_size) {
+  TidList out;
+  out.reserve(std::min(a.size(), max_size + 1));
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size()) {
+    if (j == b.size() || a[i] < b[j]) {
+      if (out.size() == max_size) return std::nullopt;
+      out.push_back(a[i]);
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void recurse(const std::vector<DiffAtom>& atoms, Count minsup,
+             std::vector<FrequentItemset>& out,
+             std::vector<std::size_t>& size_histogram,
+             IntersectStats* stats) {
+  if (atoms.size() < 2) return;
+  for (std::size_t i = 0; i + 1 < atoms.size(); ++i) {
+    std::vector<DiffAtom> child_class;
+    for (std::size_t j = i + 1; j < atoms.size(); ++j) {
+      // d(PXY) = d(PY) \ d(PX); frequent iff |d| <= sup(PX) - minsup.
+      if (atoms[i].support < minsup) break;  // defensive; atoms are frequent
+      const std::size_t budget = atoms[i].support - minsup;
+      if (stats) {
+        ++stats->intersections;
+        stats->tids_scanned +=
+            atoms[j].diffset.size() + atoms[i].diffset.size();
+      }
+      std::optional<TidList> diff = difference_bounded(
+          atoms[j].diffset, atoms[i].diffset, budget);
+      if (!diff) {
+        if (stats) ++stats->short_circuited;
+        continue;
+      }
+
+      DiffAtom child;
+      child.items = atoms[i].items;
+      child.items.push_back(atoms[j].items.back());
+      child.support = atoms[i].support - diff->size();
+      child.diffset = std::move(*diff);
+
+      const std::size_t size = child.items.size();
+      if (size_histogram.size() <= size) size_histogram.resize(size + 1, 0);
+      ++size_histogram[size];
+      out.push_back(FrequentItemset{child.items, child.support});
+      child_class.push_back(std::move(child));
+    }
+    recurse(child_class, minsup, out, size_histogram, stats);
+  }
+}
+
+}  // namespace
+
+void compute_frequent_diffsets(const std::vector<Atom>& class_atoms,
+                               Count minsup,
+                               std::vector<FrequentItemset>& out,
+                               std::vector<std::size_t>& size_histogram,
+                               IntersectStats* stats) {
+  if (class_atoms.size() < 2) return;
+  // First join switches representation: d(XY) = t(X) \ t(Y).
+  for (std::size_t i = 0; i + 1 < class_atoms.size(); ++i) {
+    std::vector<DiffAtom> child_class;
+    const Count parent_support = class_atoms[i].support();
+    if (parent_support < minsup) continue;  // defensive
+    const std::size_t budget = parent_support - minsup;
+    for (std::size_t j = i + 1; j < class_atoms.size(); ++j) {
+      if (stats) {
+        ++stats->intersections;
+        stats->tids_scanned +=
+            class_atoms[i].tids.size() + class_atoms[j].tids.size();
+      }
+      std::optional<TidList> diff = difference_bounded(
+          class_atoms[i].tids, class_atoms[j].tids, budget);
+      if (!diff) {
+        if (stats) ++stats->short_circuited;
+        continue;
+      }
+
+      DiffAtom child;
+      child.items = class_atoms[i].items;
+      child.items.push_back(class_atoms[j].items.back());
+      child.support = parent_support - diff->size();
+      child.diffset = std::move(*diff);
+
+      const std::size_t size = child.items.size();
+      if (size_histogram.size() <= size) size_histogram.resize(size + 1, 0);
+      ++size_histogram[size];
+      out.push_back(FrequentItemset{child.items, child.support});
+      child_class.push_back(std::move(child));
+    }
+    recurse(child_class, minsup, out, size_histogram, stats);
+  }
+}
+
+}  // namespace eclat

@@ -1,0 +1,155 @@
+#include "eclat/max_eclat.hpp"
+
+#include <algorithm>
+
+#include "apriori/apriori.hpp"
+#include "eclat/equivalence.hpp"
+#include "vertical/vertical_db.hpp"
+
+namespace eclat {
+namespace {
+
+/// Collect maximal candidates from one class of atoms. Every maximal
+/// frequent itemset extending this class's prefix lands in `out` (possibly
+/// alongside non-maximal candidates, removed by the global subsumption
+/// filter at the end).
+void max_recurse(const std::vector<Atom>& atoms, Count minsup,
+                 IntersectKernel kernel,
+                 std::vector<FrequentItemset>& out, MaxEclatStats& stats) {
+  if (atoms.empty()) return;
+  if (atoms.size() == 1) {
+    ++stats.candidates;
+    out.push_back(FrequentItemset{atoms[0].items, atoms[0].support()});
+    return;
+  }
+
+  // Top-element test: intersect every atom's tid-list. If the class top
+  // is frequent, it subsumes the entire sub-lattice.
+  {
+    TidList top = atoms[0].tids;
+    bool alive = true;
+    for (std::size_t i = 1; i < atoms.size() && alive; ++i) {
+      std::optional<TidList> next =
+          intersect_with_kernel(top, atoms[i].tids, minsup, kernel, nullptr);
+      if (!next) {
+        alive = false;
+      } else {
+        top = std::move(*next);
+      }
+    }
+    if (alive) {
+      Itemset items = atoms[0].items;
+      for (std::size_t i = 1; i < atoms.size(); ++i) {
+        items.push_back(atoms[i].items.back());
+      }
+      ++stats.top_hits;
+      ++stats.candidates;
+      out.push_back(FrequentItemset{std::move(items),
+                                    static_cast<Count>(top.size())});
+      return;
+    }
+  }
+
+  // Bottom-up expansion: atom i's extensions form its child class. An
+  // atom with no frequent extension is a maximal candidate itself.
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    std::vector<Atom> child_class;
+    for (std::size_t j = i + 1; j < atoms.size(); ++j) {
+      std::optional<TidList> tids = intersect_with_kernel(
+          atoms[i].tids, atoms[j].tids, minsup, kernel, nullptr);
+      if (!tids) continue;
+      Atom child;
+      child.items = atoms[i].items;
+      child.items.push_back(atoms[j].items.back());
+      child.tids = std::move(*tids);
+      child_class.push_back(std::move(child));
+    }
+    if (child_class.empty()) {
+      ++stats.candidates;
+      out.push_back(FrequentItemset{atoms[i].items, atoms[i].support()});
+    } else {
+      max_recurse(child_class, minsup, kernel, out, stats);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> maximal_of(const MiningResult& result) {
+  // Sort by size descending; keep an itemset iff no kept superset exists.
+  std::vector<FrequentItemset> sorted = result.itemsets;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const FrequentItemset& a, const FrequentItemset& b) {
+                     return a.items.size() > b.items.size();
+                   });
+  std::vector<FrequentItemset> maximal;
+  for (FrequentItemset& candidate : sorted) {
+    const bool subsumed = std::any_of(
+        maximal.begin(), maximal.end(), [&](const FrequentItemset& kept) {
+          return kept.items.size() > candidate.items.size() &&
+                 is_subset(candidate.items, kept.items);
+        });
+    if (!subsumed) maximal.push_back(std::move(candidate));
+  }
+  std::sort(maximal.begin(), maximal.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return lex_less(a.items, b.items);
+            });
+  return maximal;
+}
+
+MiningResult max_eclat(const HorizontalDatabase& db,
+                       const MaxEclatConfig& config, MaxEclatStats* stats) {
+  MaxEclatStats local_stats;
+  const std::span<const Transaction> all(db.transactions());
+
+  // Initialization identical to Eclat: one scan for item + pair counts.
+  TriangleCounter counter(std::max<Item>(db.num_items(), 2));
+  counter.count(all);
+  const std::vector<Count> item_counts = count_items(all, db.num_items());
+
+  const std::vector<PairKey> frequent_pairs =
+      counter.frequent_pairs(config.minsup);
+  std::unordered_map<PairKey, TidList> tidlists =
+      invert_pairs(all, frequent_pairs);
+  const std::vector<EquivalenceClass> classes =
+      partition_into_classes(frequent_pairs);
+
+  std::vector<FrequentItemset> candidates;
+  for (const EquivalenceClass& eq_class : classes) {
+    std::vector<Atom> atoms;
+    atoms.reserve(eq_class.members.size());
+    for (Item member : eq_class.members) {
+      const PairKey key = make_pair_key(eq_class.prefix, member);
+      atoms.push_back(
+          Atom{{eq_class.prefix, member}, std::move(tidlists.at(key))});
+    }
+    max_recurse(atoms, config.minsup, config.kernel, candidates,
+                local_stats);
+  }
+
+  // Frequent singletons are candidates too (maximal when isolated).
+  for (Item item = 0; item < db.num_items(); ++item) {
+    if (item_counts[item] >= config.minsup) {
+      ++local_stats.candidates;
+      candidates.push_back(FrequentItemset{{item}, item_counts[item]});
+    }
+  }
+
+  MiningResult raw;
+  raw.itemsets = std::move(candidates);
+  MiningResult result;
+  result.itemsets = maximal_of(raw);
+  result.database_scans = 2;
+  normalize(result);
+  for (std::size_t k = 1; k <= result.max_size(); ++k) {
+    result.levels.push_back(LevelStats{k, 0, result.count_of_size(k)});
+  }
+  if (stats) *stats = local_stats;
+  return result;
+}
+
+}  // namespace eclat

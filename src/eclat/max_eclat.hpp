@@ -1,0 +1,42 @@
+// MaxEclat — mining *maximal* frequent itemsets, from the companion report
+// the paper cites as [18] (Zaki, Parthasarathy, Ogihara & Li, "New
+// Algorithms for Fast Discovery of Association Rules", URCS TR 651): the
+// same equivalence-class/tid-list machinery as Eclat, plus a hybrid
+// search step — before expanding a class bottom-up, test its *top
+// element* (the union of all its atoms, whose tid-list is the
+// intersection of all atom tid-lists). If the top is frequent the entire
+// sub-lattice collapses to that single maximal itemset and the class is
+// pruned wholesale.
+//
+// Every frequent itemset is a subset of some maximal one, so the maximal
+// family is a compact lossless summary of frequency (supports of subsets
+// are not retained — that is the documented trade-off).
+#pragma once
+
+#include "common/result.hpp"
+#include "data/horizontal.hpp"
+#include "eclat/compute_frequent.hpp"
+
+namespace eclat {
+
+struct MaxEclatConfig {
+  Count minsup = 1;
+  IntersectKernel kernel = IntersectKernel::kMergeShortCircuit;
+};
+
+struct MaxEclatStats {
+  std::size_t top_hits = 0;    ///< classes collapsed by the top-element test
+  std::size_t candidates = 0;  ///< maximal candidates before subsumption
+};
+
+/// All maximal frequent itemsets of `db` (sizes >= 1), sorted like any
+/// MiningResult. `result.levels` reports maximal counts per size.
+MiningResult max_eclat(const HorizontalDatabase& db,
+                       const MaxEclatConfig& config,
+                       MaxEclatStats* stats = nullptr);
+
+/// Reference utility: the maximal elements of an (arbitrary) mining
+/// result — used to validate max_eclat against full Eclat output.
+std::vector<FrequentItemset> maximal_of(const MiningResult& result);
+
+}  // namespace eclat

@@ -1,0 +1,84 @@
+// From-scratch reimplementation of the IBM Quest synthetic basket-data
+// generator described in Agrawal & Srikant, "Fast Algorithms for Mining
+// Association Rules" (VLDB 1994), §4.1 — the generator behind the
+// T10.I6.DxK databases used in the paper's evaluation (Table 1).
+//
+// Model recap:
+//   - A pool of |L| "maximal potentially frequent itemsets" (patterns) is
+//     drawn first. Pattern sizes are Poisson with mean |I|; consecutive
+//     patterns share a fraction of items (exponential with mean equal to
+//     the correlation level) to model cross-pattern correlation; each
+//     pattern carries a weight (exponential, normalized to a probability)
+//     and a corruption level (normal, mean 0.5, variance 0.1).
+//   - Each transaction draws its size from Poisson with mean |T| and is
+//     filled by repeatedly picking a pattern by weight, corrupting it
+//     (items are dropped while a uniform draw stays below the corruption
+//     level), and inserting the surviving items. If a pattern does not fit
+//     in the remaining budget it is added anyway half the time and deferred
+//     to the next transaction otherwise.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "data/horizontal.hpp"
+
+namespace eclat::gen {
+
+/// Generator parameters. Defaults are the paper's published settings
+/// (N = 1000 items, |L| = 2000 patterns, T10.I6).
+struct QuestConfig {
+  std::size_t num_transactions = 100'000;  ///< |D|
+  double avg_transaction_length = 10.0;    ///< |T|
+  double avg_pattern_length = 6.0;         ///< |I|
+  Item num_items = 1000;                   ///< N
+  std::size_t num_patterns = 2000;         ///< |L|
+  double correlation = 0.5;     ///< mean shared fraction between patterns
+  double corruption_mean = 0.5; ///< mean of per-pattern corruption level
+  double corruption_sd = 0.1;   ///< std-dev of per-pattern corruption level
+  std::uint64_t seed = 1997;    ///< RNG seed (databases are reproducible)
+};
+
+/// One potentially frequent pattern from the pool L.
+struct Pattern {
+  Itemset items;
+  double weight = 0.0;      ///< selection probability (weights sum to 1)
+  double corruption = 0.0;  ///< per-use item-drop probability
+};
+
+/// Streams transactions of a synthetic basket database.
+class QuestGenerator {
+ public:
+  explicit QuestGenerator(const QuestConfig& config);
+
+  /// Generate the full database described by the config.
+  HorizontalDatabase generate();
+
+  /// Pattern pool (exposed for tests and diagnostics).
+  const std::vector<Pattern>& patterns() const { return patterns_; }
+
+  const QuestConfig& config() const { return config_; }
+
+ private:
+  Itemset draw_pattern_items(const Itemset& previous);
+  std::size_t pick_pattern_index();
+  Itemset corrupt(const Pattern& pattern);
+
+  QuestConfig config_;
+  Rng rng_;
+  std::vector<Pattern> patterns_;
+  std::vector<double> cumulative_weights_;
+};
+
+/// Convenience: generate a database with the paper's T10.I6 parameters and
+/// the given number of transactions (e.g. 800'000 for T10.I6.D800K).
+HorizontalDatabase t10_i6(std::size_t num_transactions,
+                          std::uint64_t seed = 1997);
+
+/// Canonical database name used in the paper ("T10.I6.D800K" style).
+std::string database_name(const QuestConfig& config);
+
+}  // namespace eclat::gen

@@ -1,0 +1,360 @@
+#include "mc/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace eclat::mc {
+
+// Data-flow note for the collective scratch state
+// ------------------------------------------------
+// Every collective follows: publish into slots owned by *this* processor →
+// arrive at the barrier (the last arriver folds all slots and rewrites the
+// clocks while everyone else is still blocked) → consume from slots owned
+// by this processor. A processor can only reach the *next* collective's
+// fold after finishing its consume, and the next fold only runs when every
+// processor has arrived — so fold never races with a publish or consume of
+// the previous round, and a single barrier round per collective suffices.
+
+Cluster::Cluster(const Topology& topology, const CostModel& cost)
+    : topology_(topology),
+      cost_(cost),
+      channel_(cost),
+      barrier_(topology.total()) {
+  topology_.validate();
+  const std::size_t total = topology_.total();
+  clocks_.assign(total, 0.0);
+  reduce_slots_.assign(total, {});
+  gather_slots_.assign(total, {});
+  a2a_out_.assign(total, {});
+  a2a_in_.assign(total, std::vector<Blob>(total));
+}
+
+double Cluster::makespan() const {
+  return clocks_.empty() ? 0.0
+                         : *std::max_element(clocks_.begin(), clocks_.end());
+}
+
+void Cluster::run(const std::function<void(Processor&)>& body) {
+  const std::size_t total = topology_.total();
+  std::fill(clocks_.begin(), clocks_.end(), 0.0);
+  phase_start_max_ = 0.0;
+  channel_.reset_phase();
+
+  std::vector<std::exception_ptr> errors(total);
+  std::vector<std::thread> threads;
+  threads.reserve(total);
+  for (std::size_t p = 0; p < total; ++p) {
+    threads.emplace_back([this, &body, &errors, p] {
+      Processor self(this, p);
+      try {
+        body(self);
+      } catch (...) {
+        errors[p] = std::current_exception();
+        // Keep the SPMD program from deadlocking on peers stuck at a
+        // barrier: there is no recovery path, so fail loudly.
+        std::terminate();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+namespace {
+
+/// Max element of a clock vector.
+double max_clock(const std::vector<double>& clocks) {
+  return *std::max_element(clocks.begin(), clocks.end());
+}
+
+}  // namespace
+
+// --- Processor ---
+
+std::size_t Processor::host() const {
+  return cluster_->topology().host_of(id_);
+}
+
+const Topology& Processor::topology() const { return cluster_->topology(); }
+
+const CostModel& Processor::cost() const { return cluster_->cost(); }
+
+double Processor::now() const { return cluster_->clocks_[id_]; }
+
+void Processor::advance(double seconds) {
+  cluster_->clocks_[id_] += seconds;
+}
+
+void Processor::disk_read(std::size_t bytes, std::size_t scanners) {
+  if (scanners == 0) scanners = topology().procs_per_host;
+  advance(cost().disk_time(bytes, scanners));
+  if (Trace* trace = cluster_->trace_) {
+    trace->record(id_, now(), TraceKind::kDisk, "scan", bytes);
+  }
+}
+
+void Processor::disk_write(std::size_t bytes, std::size_t scanners) {
+  disk_read(bytes, scanners);  // same model both directions
+}
+
+MemoryChannel& Processor::channel() { return cluster_->channel_; }
+
+void Processor::region_write(MemoryChannel::RegionId region,
+                             std::size_t offset,
+                             std::span<const std::uint8_t> data) {
+  advance(cluster_->channel_.write(region, offset, data));
+}
+
+void Processor::region_read(MemoryChannel::RegionId region,
+                            std::size_t offset,
+                            std::span<std::uint8_t> out) {
+  advance(cluster_->channel_.read(region, offset, out));
+}
+
+void Cluster::apply_phase_floor_and_sync(double extra_cost) {
+  // Runs inside a barrier fold. Any bytes pushed through raw region writes
+  // since the previous sync point may have been hub-limited: stretch the
+  // phase to total_bytes / aggregate_bandwidth when the per-link charges
+  // did not already cover it.
+  double now = max_clock(clocks_);
+  const double phase_elapsed = now - phase_start_max_;
+  const double hub_floor =
+      static_cast<double>(channel_.phase_hub_bytes()) /
+      cost_.aggregate_bandwidth;
+  if (hub_floor > phase_elapsed) now += hub_floor - phase_elapsed;
+  now += extra_cost;
+  std::fill(clocks_.begin(), clocks_.end(), now);
+  phase_start_max_ = now;
+  channel_.reset_phase();
+}
+
+void Processor::barrier() {
+  Cluster& cluster = *cluster_;
+  cluster.barrier_.arrive_and_wait([&cluster] {
+    cluster.apply_phase_floor_and_sync(
+        cluster.cost_.barrier_time(cluster.topology_.total()));
+  });
+  if (Trace* trace = cluster.trace_) {
+    trace->record(id_, now(), TraceKind::kBarrier, "barrier");
+  }
+}
+
+void Processor::phase_begin(const std::string& label) {
+  if (Trace* trace = cluster_->trace_) {
+    trace->record(id_, now(), TraceKind::kPhaseBegin, label);
+  }
+}
+
+void Processor::phase_end(const std::string& label) {
+  if (Trace* trace = cluster_->trace_) {
+    trace->record(id_, now(), TraceKind::kPhaseEnd, label);
+  }
+}
+
+void Processor::mark(const std::string& label, std::uint64_t detail) {
+  if (Trace* trace = cluster_->trace_) {
+    trace->record(id_, now(), TraceKind::kMark, label, detail);
+  }
+}
+
+void Processor::trace_compute(std::uint64_t nanoseconds) {
+  if (Trace* trace = cluster_->trace_) {
+    trace->record(id_, now(), TraceKind::kCompute, "compute", nanoseconds);
+  }
+}
+
+void Processor::sum_reduce(std::span<Count> values, ReduceScheme scheme) {
+  Cluster& cluster = *cluster_;
+  cluster.reduce_slots_[id_] = values;
+  const std::size_t total = cluster.topology_.total();
+
+  cluster.barrier_.arrive_and_wait([&cluster, total, scheme] {
+    // All slots must agree on length (SPMD contract).
+    const std::size_t length = cluster.reduce_slots_[0].size();
+    for (const auto& slot : cluster.reduce_slots_) {
+      if (slot.size() != length) {
+        throw std::logic_error("sum_reduce length mismatch across procs");
+      }
+    }
+    cluster.reduce_accum_.assign(length, 0);
+    for (const auto& slot : cluster.reduce_slots_) {
+      for (std::size_t i = 0; i < length; ++i) {
+        cluster.reduce_accum_[i] += slot[i];
+      }
+    }
+
+    const std::size_t bytes = length * sizeof(Count);
+    cluster.channel_.account(static_cast<std::uint64_t>(bytes) * total,
+                             total);
+    const double update_cost = cluster.cost_.message_time(bytes);
+    double finish = 0.0;
+    if (scheme == ReduceScheme::kSerialized) {
+      // Processors update the shared Memory Channel array one at a time
+      // (the paper's O(P) mutually exclusive scheme, §6.2), serialized
+      // here by processor id, then synchronize.
+      for (std::size_t p = 0; p < total; ++p) {
+        finish = std::max(finish, cluster.clocks_[p]) + update_cost;
+      }
+    } else if (scheme == ReduceScheme::kSerializedHosts) {
+      // One representative per host takes a turn at the shared array; the
+      // intra-host combine happens in host RAM (charged as memcpy).
+      const std::size_t hosts = cluster.topology_.hosts;
+      finish = max_clock(cluster.clocks_) +
+               static_cast<double>(hosts) * update_cost +
+               cluster.cost_.memcpy_time(bytes) *
+                   static_cast<double>(cluster.topology_.procs_per_host);
+    } else {
+      // Recursive doubling: ceil(log2 P) rounds, each a full-vector
+      // exchange running on all links concurrently.
+      std::size_t rounds = 0;
+      for (std::size_t span = 1; span < total; span *= 2) ++rounds;
+      finish = max_clock(cluster.clocks_) +
+               static_cast<double>(rounds) * update_cost;
+    }
+    std::fill(cluster.clocks_.begin(), cluster.clocks_.end(), finish);
+    cluster.phase_start_max_ = finish;
+    cluster.channel_.reset_phase();
+
+    // Every processor then reads the totals back from its receive region.
+    const double read_cost = cluster.cost_.memcpy_time(bytes);
+    for (double& clock : cluster.clocks_) clock += read_cost;
+  });
+
+  std::copy(cluster.reduce_accum_.begin(), cluster.reduce_accum_.end(),
+            values.begin());
+}
+
+Blob Processor::broadcast(std::size_t root, Blob payload) {
+  Cluster& cluster = *cluster_;
+  // Publish through the root's own slot; the fold moves it into the shared
+  // broadcast buffer, which is only ever rewritten by a later fold (after
+  // every consumer of this round has moved on).
+  if (id_ == root) cluster.gather_slots_[id_] = std::move(payload);
+
+  cluster.barrier_.arrive_and_wait([&cluster, root] {
+    cluster.bcast_payload_ = std::move(cluster.gather_slots_[root]);
+    cluster.gather_slots_[root].clear();
+    // Memory Channel writes are multicast: the root pays one message, the
+    // hub fans it out, receivers drain their receive region locally.
+    const std::size_t bytes = cluster.bcast_payload_.size();
+    cluster.channel_.account(bytes, 1);
+    cluster.apply_phase_floor_and_sync(0.0);
+    const double send = cluster.cost_.message_time(bytes);
+    const double drain = cluster.cost_.memcpy_time(bytes);
+    for (std::size_t p = 0; p < cluster.clocks_.size(); ++p) {
+      cluster.clocks_[p] += send + (p == root ? 0.0 : drain);
+    }
+    cluster.phase_start_max_ = max_clock(cluster.clocks_);
+  });
+
+  return cluster.bcast_payload_;
+}
+
+std::vector<Blob> Processor::all_to_all(std::vector<Blob> outgoing) {
+  Cluster& cluster = *cluster_;
+  const std::size_t total = cluster.topology_.total();
+  if (outgoing.size() != total) {
+    throw std::invalid_argument("all_to_all needs one payload per processor");
+  }
+  cluster.a2a_out_[id_] = std::move(outgoing);
+
+  cluster.barrier_.arrive_and_wait([&cluster, total] {
+    // Route payloads (the self-payload short-circuits locally for free).
+    // Consumers move their whole inbox row out, so rebuild each row to
+    // full width before writing into it.
+    for (std::size_t dst = 0; dst < total; ++dst) {
+      cluster.a2a_in_[dst].resize(total);
+    }
+    std::uint64_t total_bytes = 0;
+    std::vector<std::uint64_t> sent(total, 0);
+    std::vector<std::uint64_t> received(total, 0);
+    for (std::size_t src = 0; src < total; ++src) {
+      for (std::size_t dst = 0; dst < total; ++dst) {
+        Blob& payload = cluster.a2a_out_[src][dst];
+        if (src != dst) {
+          sent[src] += payload.size();
+          received[dst] += payload.size();
+          total_bytes += payload.size();
+        }
+        cluster.a2a_in_[dst][src] = std::move(payload);
+      }
+      cluster.a2a_out_[src].clear();
+    }
+    cluster.channel_.account(total_bytes, total * (total - 1));
+
+    // Time model of the §6.3 lock-step exchange: alternating write/read
+    // phases through bounded transmit/receive buffer pairs. Rounds are
+    // driven by the heaviest sender; each round ends in a barrier. Links
+    // run at link_bandwidth (write-doubled), the hub caps the aggregate.
+    const CostModel& cost = cluster.cost_;
+    cluster.apply_phase_floor_and_sync(0.0);
+    const double start = cluster.phase_start_max_;
+
+    std::uint64_t max_sent = 0;
+    for (std::uint64_t s : sent) max_sent = std::max(max_sent, s);
+    const std::size_t rounds = std::max<std::size_t>(
+        1, (max_sent + cost.exchange_buffer - 1) / cost.exchange_buffer);
+
+    const double doubling = cost.write_doubling ? 2.0 : 1.0;
+    double slowest = 0.0;
+    for (std::size_t p = 0; p < total; ++p) {
+      const double t =
+          static_cast<double>(rounds) *
+              (cost.barrier_time(total) +
+               static_cast<double>(total - 1) * cost.mc_latency) +
+          doubling * static_cast<double>(sent[p]) / cost.link_bandwidth +
+          cost.memcpy_time(received[p]);
+      slowest = std::max(slowest, t);
+    }
+    const double hub_floor =
+        static_cast<double>(total_bytes) / cost.aggregate_bandwidth;
+    const double finish = start + std::max(slowest, hub_floor);
+    std::fill(cluster.clocks_.begin(), cluster.clocks_.end(), finish);
+    cluster.phase_start_max_ = finish;
+  });
+
+  return std::move(cluster.a2a_in_[id_]);
+}
+
+std::vector<Blob> Processor::all_gather(Blob payload) {
+  Cluster& cluster = *cluster_;
+  const std::size_t total = cluster.topology_.total();
+  cluster.gather_slots_[id_] = std::move(payload);
+
+  cluster.barrier_.arrive_and_wait([&cluster, total] {
+    // Move the published payloads into the round's result buffer so the
+    // slots are free for the next round's publishes immediately.
+    cluster.gather_result_.assign(total, Blob{});
+    std::uint64_t total_bytes = 0;
+    double send_time = 0.0;
+    const CostModel& cost = cluster.cost_;
+    for (std::size_t p = 0; p < total; ++p) {
+      cluster.gather_result_[p] = std::move(cluster.gather_slots_[p]);
+      cluster.gather_slots_[p].clear();
+      total_bytes += cluster.gather_result_[p].size();
+      send_time = std::max(
+          send_time, cost.message_time(cluster.gather_result_[p].size()));
+    }
+    // Each processor multicasts its payload (one message each, in
+    // parallel across links); the hub caps the aggregate; everyone drains
+    // all T payloads from its receive region.
+    cluster.channel_.account(total_bytes, total);
+    cluster.apply_phase_floor_and_sync(0.0);
+    const double hub_floor =
+        static_cast<double>(total_bytes) / cost.aggregate_bandwidth;
+    const double finish = cluster.phase_start_max_ +
+                          std::max(send_time, hub_floor) +
+                          cost.memcpy_time(total_bytes);
+    std::fill(cluster.clocks_.begin(), cluster.clocks_.end(), finish);
+    cluster.phase_start_max_ = finish;
+  });
+
+  return cluster.gather_result_;
+}
+
+}  // namespace eclat::mc

@@ -1,0 +1,197 @@
+// Virtual-time cluster simulation: the SPMD substrate the parallel mining
+// algorithms run on.
+//
+// Each simulated processor is a real std::thread, so the concurrency
+// structure (phases, barriers, data exchange) is genuinely exercised; but
+// *time* is virtual. Every processor owns a clock (seconds) advanced by:
+//   - measured thread-CPU time of compute sections, scaled by
+//     CostModel::cpu_scale (so results do not depend on the host machine's
+//     core count or load);
+//   - modeled disk-scan time with per-host contention;
+//   - modeled Memory Channel message/collective time.
+// Barriers and collectives advance every participant to the maximum clock
+// (plus the collective's own cost), exactly like lock-step phases on the
+// real machine. The reported "total execution time" of an algorithm is the
+// maximum final clock — deterministic for a fixed dataset and topology.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/types.hpp"
+#include "mc/cost_model.hpp"
+#include "mc/memory_channel.hpp"
+#include "mc/phase_barrier.hpp"
+#include "mc/trace.hpp"
+#include "mc/topology.hpp"
+
+namespace eclat::mc {
+
+/// Opaque byte payload for point-to-point style exchange.
+using Blob = std::vector<std::uint8_t>;
+
+class Cluster;
+
+/// Handle an SPMD body uses to act as one processor of the cluster.
+/// Not copyable; lives for the duration of Cluster::run.
+class Processor {
+ public:
+  std::size_t id() const { return id_; }
+  std::size_t host() const;
+  const Topology& topology() const;
+  const CostModel& cost() const;
+
+  /// Current virtual time, seconds.
+  double now() const;
+
+  /// Advance this processor's clock.
+  void advance(double seconds);
+
+  /// Run `body`, measure its thread-CPU time, and charge it (scaled) to
+  /// the clock. Returns body's result.
+  template <typename F>
+  auto compute(F&& body) {
+    CpuStopwatch watch;
+    if constexpr (std::is_void_v<decltype(body())>) {
+      body();
+      const auto ns = watch.elapsed_ns();
+      advance(static_cast<double>(ns) * 1e-9 * cost().cpu_scale);
+      trace_compute(static_cast<std::uint64_t>(ns));
+    } else {
+      auto result = body();
+      const auto ns = watch.elapsed_ns();
+      advance(static_cast<double>(ns) * 1e-9 * cost().cpu_scale);
+      trace_compute(static_cast<std::uint64_t>(ns));
+      return result;
+    }
+  }
+
+  /// Charge a sequential scan of `bytes` from the host-local disk.
+  /// `scanners` = processors of this host scanning concurrently
+  /// (0 = assume all of them, the common SPMD case).
+  void disk_read(std::size_t bytes, std::size_t scanners = 0);
+  void disk_write(std::size_t bytes, std::size_t scanners = 0);
+
+  // --- Collectives. Every processor of the cluster must call the same
+  // sequence of collectives (standard SPMD discipline). ---
+
+  /// Synchronize; clocks jump to max + barrier cost + any outstanding
+  /// hub-bandwidth deficit of the closing phase.
+  void barrier();
+
+  /// How a sum-reduction is charged in virtual time. The data movement is
+  /// identical; only the cost model differs.
+  enum class ReduceScheme : std::uint8_t {
+    /// The paper's §6.2 scheme: processors update a shared Memory Channel
+    /// array one at a time (mutually exclusive), O(P) updates end to end.
+    /// CCPD/Count Distribution pays this every iteration.
+    kSerialized,
+    /// Recursive-doubling allreduce, O(log P) rounds — the alternative the
+    /// paper's footnote 2 points out. Parallel Eclat uses it for its
+    /// single initialization reduction.
+    kTree,
+    /// Serialized across *hosts* only (one representative per host; the
+    /// intra-host combine is shared memory). The hybrid algorithms' (§8.1)
+    /// inter-host reduction.
+    kSerializedHosts,
+  };
+
+  /// Element-wise global sum of `values` (same length everywhere); on
+  /// return every processor holds the totals.
+  void sum_reduce(std::span<Count> values,
+                  ReduceScheme scheme = ReduceScheme::kSerialized);
+
+  /// Deliver root's payload to every processor (MC writes are multicast,
+  /// §6.1, so the root pays one message).
+  Blob broadcast(std::size_t root, Blob payload);
+
+  /// Personalized all-to-all: `outgoing[d]` goes to processor d; returns
+  /// `incoming[s]` from processor s. Models the §6.3 lock-step
+  /// write/read-phase exchange through bounded transmit buffers.
+  std::vector<Blob> all_to_all(std::vector<Blob> outgoing);
+
+  /// Every processor contributes `payload`; all receive all contributions.
+  std::vector<Blob> all_gather(Blob payload);
+
+  /// Direct Memory Channel access for algorithm-specific region use.
+  MemoryChannel& channel();
+
+  /// Region write/read that charge this processor's clock.
+  void region_write(MemoryChannel::RegionId region, std::size_t offset,
+                    std::span<const std::uint8_t> data);
+  void region_read(MemoryChannel::RegionId region, std::size_t offset,
+                   std::span<std::uint8_t> out);
+
+  // --- Tracing (no-ops unless a Trace is attached to the cluster). ---
+  void phase_begin(const std::string& label);
+  void phase_end(const std::string& label);
+  void mark(const std::string& label, std::uint64_t detail = 0);
+
+ private:
+  friend class Cluster;
+  Processor(Cluster* cluster, std::size_t id) : cluster_(cluster), id_(id) {}
+  Processor(const Processor&) = delete;
+  Processor& operator=(const Processor&) = delete;
+
+  void trace_compute(std::uint64_t nanoseconds);
+
+  Cluster* cluster_;
+  std::size_t id_;
+};
+
+class Cluster {
+ public:
+  Cluster(const Topology& topology, const CostModel& cost = {});
+
+  /// Run `body` as one instance per processor (T real threads). May be
+  /// called repeatedly; clocks are reset per run. Exceptions thrown by any
+  /// instance are rethrown here after all threads join.
+  void run(const std::function<void(Processor&)>& body);
+
+  const Topology& topology() const { return topology_; }
+  const CostModel& cost() const { return cost_; }
+  MemoryChannel& channel() { return channel_; }
+
+  /// Final per-processor clocks of the last run.
+  const std::vector<double>& clocks() const { return clocks_; }
+
+  /// Total execution time of the last run = max final clock.
+  double makespan() const;
+
+  /// Attach an event sink; processors then record disk scans, compute
+  /// sections, barriers and phase markers with virtual timestamps.
+  /// Pass nullptr to detach. The Trace must outlive subsequent runs.
+  void set_trace(Trace* trace) { trace_ = trace; }
+  Trace* trace() { return trace_; }
+
+ private:
+  friend class Processor;
+
+  void apply_phase_floor_and_sync(double extra_cost);
+
+  Topology topology_;
+  CostModel cost_;
+  MemoryChannel channel_;
+  PhaseBarrier barrier_;
+  Trace* trace_ = nullptr;
+
+  std::vector<double> clocks_;
+  double phase_start_max_ = 0.0;  // max clock at the last barrier
+
+  // Collective scratch state (written before a barrier, folded by the
+  // last arriver, consumed after release — see the data-flow note in
+  // cluster.cpp).
+  std::vector<std::span<Count>> reduce_slots_;
+  std::vector<Count> reduce_accum_;
+  std::vector<Blob> gather_slots_;
+  std::vector<Blob> gather_result_;
+  std::vector<std::vector<Blob>> a2a_out_;
+  std::vector<std::vector<Blob>> a2a_in_;
+  Blob bcast_payload_;
+};
+
+}  // namespace eclat::mc

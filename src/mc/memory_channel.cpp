@@ -1,0 +1,53 @@
+#include "mc/memory_channel.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace eclat::mc {
+
+MemoryChannel::RegionId MemoryChannel::create_region(std::size_t bytes) {
+  std::lock_guard lock(regions_mutex_);
+  regions_.emplace_back(bytes, std::uint8_t{0});
+  return regions_.size() - 1;
+}
+
+std::size_t MemoryChannel::region_size(RegionId region) const {
+  std::lock_guard lock(regions_mutex_);
+  return regions_.at(region).size();
+}
+
+double MemoryChannel::write(RegionId region, std::size_t offset,
+                            std::span<const std::uint8_t> data) {
+  std::vector<std::uint8_t>* buffer;
+  {
+    std::lock_guard lock(regions_mutex_);
+    buffer = &regions_.at(region);
+  }
+  if (offset + data.size() > buffer->size()) {
+    throw std::out_of_range("region write out of bounds");
+  }
+  // Disjoint concurrent writes are safe on the underlying bytes; a deque
+  // never relocates existing elements on emplace_back.
+  std::memcpy(buffer->data() + offset, data.data(), data.size());
+
+  phase_hub_bytes_.fetch_add(data.size(), std::memory_order_relaxed);
+  total_bytes_.fetch_add(data.size(), std::memory_order_relaxed);
+  total_messages_.fetch_add(1, std::memory_order_relaxed);
+  return cost_.message_time(data.size());
+}
+
+double MemoryChannel::read(RegionId region, std::size_t offset,
+                           std::span<std::uint8_t> out) const {
+  const std::vector<std::uint8_t>* buffer;
+  {
+    std::lock_guard lock(regions_mutex_);
+    buffer = &regions_.at(region);
+  }
+  if (offset + out.size() > buffer->size()) {
+    throw std::out_of_range("region read out of bounds");
+  }
+  std::memcpy(out.data(), buffer->data() + offset, out.size());
+  return cost_.memcpy_time(out.size());
+}
+
+}  // namespace eclat::mc

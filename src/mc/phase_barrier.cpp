@@ -1,0 +1,28 @@
+#include "mc/phase_barrier.hpp"
+
+#include <stdexcept>
+
+namespace eclat::mc {
+
+PhaseBarrier::PhaseBarrier(std::size_t participants)
+    : participants_(participants) {
+  if (participants == 0) {
+    throw std::invalid_argument("barrier needs at least one participant");
+  }
+}
+
+void PhaseBarrier::arrive_and_wait(const std::function<void()>& on_last) {
+  std::unique_lock lock(mutex_);
+  const std::size_t my_generation = generation_;
+  if (++waiting_ == participants_) {
+    if (on_last) on_last();
+    waiting_ = 0;
+    ++generation_;
+    released_.notify_all();
+    return;
+  }
+  released_.wait(lock,
+                 [&] { return generation_ != my_generation; });
+}
+
+}  // namespace eclat::mc

@@ -1,0 +1,33 @@
+// Reusable generation barrier with an on-last hook: the hook runs on the
+// final arriving thread, under the barrier's lock, before anyone is
+// released. Collectives use it to fold per-processor state (virtual
+// clocks, byte counters) deterministically at phase boundaries.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+
+namespace eclat::mc {
+
+class PhaseBarrier {
+ public:
+  explicit PhaseBarrier(std::size_t participants);
+
+  /// Block until all participants arrive. `on_last` (if non-empty) runs
+  /// exactly once per generation, on the last arriving thread, while the
+  /// barrier lock is held — all other participants are still blocked.
+  void arrive_and_wait(const std::function<void()>& on_last = {});
+
+  std::size_t participants() const { return participants_; }
+
+ private:
+  const std::size_t participants_;
+  std::mutex mutex_;
+  std::condition_variable released_;
+  std::size_t waiting_ = 0;
+  std::size_t generation_ = 0;
+};
+
+}  // namespace eclat::mc

@@ -1,0 +1,44 @@
+// Cluster topology: H hosts with P processors each (the paper's testbed is
+// 8 hosts x 4 processors). Processor ids are dense, 0..T-1, grouped by
+// host: host(p) = p / procs_per_host.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace eclat::mc {
+
+struct Topology {
+  std::size_t hosts = 1;
+  std::size_t procs_per_host = 1;
+
+  std::size_t total() const { return hosts * procs_per_host; }
+
+  std::size_t host_of(std::size_t proc) const { return proc / procs_per_host; }
+
+  /// Index of a processor within its host (0..procs_per_host-1).
+  std::size_t slot_of(std::size_t proc) const { return proc % procs_per_host; }
+
+  /// True if the two processors share a host (and therefore a local disk
+  /// and, on the real machine, physical RAM).
+  bool same_host(std::size_t a, std::size_t b) const {
+    return host_of(a) == host_of(b);
+  }
+
+  void validate() const {
+    if (hosts == 0 || procs_per_host == 0) {
+      throw std::invalid_argument("topology dimensions must be positive");
+    }
+  }
+
+  /// "P=4,H=8,T=32" — the labels used in the paper's Table 2 / Figure 7.
+  std::string label() const {
+    return "P=" + std::to_string(procs_per_host) +
+           ",H=" + std::to_string(hosts) + ",T=" + std::to_string(total());
+  }
+
+  friend bool operator==(const Topology&, const Topology&) = default;
+};
+
+}  // namespace eclat::mc

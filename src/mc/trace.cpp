@@ -1,0 +1,101 @@
+#include "mc/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+namespace eclat::mc {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kPhaseBegin:
+      return "phase-begin";
+    case TraceKind::kPhaseEnd:
+      return "phase-end";
+    case TraceKind::kDisk:
+      return "disk";
+    case TraceKind::kMessage:
+      return "message";
+    case TraceKind::kCompute:
+      return "compute";
+    case TraceKind::kBarrier:
+      return "barrier";
+    case TraceKind::kMark:
+      return "mark";
+  }
+  return "?";
+}
+
+void Trace::record(std::size_t processor, double time, TraceKind kind,
+                   std::string label, std::uint64_t detail) {
+  std::lock_guard lock(mutex_);
+  events_.push_back(
+      TraceEvent{processor, time, kind, std::move(label), detail});
+}
+
+std::vector<TraceEvent> Trace::sorted() const {
+  std::vector<TraceEvent> copy;
+  {
+    std::lock_guard lock(mutex_);
+    copy = events_;
+  }
+  std::stable_sort(copy.begin(), copy.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.processor < b.processor;
+                   });
+  return copy;
+}
+
+std::size_t Trace::size() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+void Trace::clear() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+}
+
+void Trace::dump(std::ostream& out) const {
+  for (const TraceEvent& event : sorted()) {
+    out << "[" << event.time << "s] p" << event.processor << " "
+        << to_string(event.kind) << " " << event.label;
+    if (event.detail != 0) out << " (" << event.detail << ")";
+    out << '\n';
+  }
+}
+
+void Trace::dump_csv(std::ostream& out) const {
+  out << "processor,time,kind,label,detail\n";
+  for (const TraceEvent& event : sorted()) {
+    out << event.processor << ',' << event.time << ','
+        << to_string(event.kind) << ',' << event.label << ','
+        << event.detail << '\n';
+  }
+}
+
+double Trace::phase_span(const std::string& label) const {
+  // Per processor: sum of (end - begin) pairs; report the max.
+  std::map<std::size_t, double> open;
+  std::map<std::size_t, double> spans;
+  for (const TraceEvent& event : sorted()) {
+    if (event.label != label) continue;
+    if (event.kind == TraceKind::kPhaseBegin) {
+      open[event.processor] = event.time;
+    } else if (event.kind == TraceKind::kPhaseEnd) {
+      const auto it = open.find(event.processor);
+      if (it != open.end()) {
+        spans[event.processor] += event.time - it->second;
+        open.erase(it);
+      }
+    }
+  }
+  double max_span = 0.0;
+  for (const auto& [processor, span] : spans) {
+    max_span = std::max(max_span, span);
+  }
+  return max_span;
+}
+
+}  // namespace eclat::mc

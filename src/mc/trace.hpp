@@ -1,0 +1,64 @@
+// Virtual-time event tracing for cluster runs: every processor can record
+// phase markers and resource events with its virtual timestamp, and the
+// collected timeline can be rendered as text or CSV after the run. Used
+// by the examples to show where the paper's algorithms spend their time,
+// and by tests to assert ordering properties of the simulation.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace eclat::mc {
+
+enum class TraceKind : std::uint8_t {
+  kPhaseBegin,
+  kPhaseEnd,
+  kDisk,     ///< a disk scan (detail = bytes)
+  kMessage,  ///< network transfer (detail = bytes)
+  kCompute,  ///< a compute section (detail = nanoseconds of CPU)
+  kBarrier,
+  kMark,     ///< free-form annotation
+};
+
+const char* to_string(TraceKind kind);
+
+struct TraceEvent {
+  std::size_t processor = 0;
+  double time = 0.0;  ///< virtual seconds at the moment of recording
+  TraceKind kind = TraceKind::kMark;
+  std::string label;
+  std::uint64_t detail = 0;
+};
+
+/// Thread-safe event sink shared by all processors of one run.
+class Trace {
+ public:
+  void record(std::size_t processor, double time, TraceKind kind,
+              std::string label, std::uint64_t detail = 0);
+
+  /// All events, ordered by (time, processor). Call after Cluster::run.
+  std::vector<TraceEvent> sorted() const;
+
+  std::size_t size() const;
+  void clear();
+
+  /// Human-readable timeline, one line per event.
+  void dump(std::ostream& out) const;
+
+  /// Machine-readable CSV: processor,time,kind,label,detail.
+  void dump_csv(std::ostream& out) const;
+
+  /// Total virtual seconds spent between matching kPhaseBegin/kPhaseEnd
+  /// markers with `label`, maximized over processors (the phase's
+  /// contribution to the makespan).
+  double phase_span(const std::string& label) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace eclat::mc

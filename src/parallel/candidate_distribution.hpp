@@ -1,0 +1,31 @@
+// Candidate Distribution (paper §3.2, Agrawal & Shafer [3]).
+//
+// Runs as Count Distribution up to a chosen redistribution pass; at that
+// pass the candidates are partitioned into prefix-based equivalence
+// classes, the classes are scheduled over the processors, and the
+// *horizontal* database is selectively replicated so each processor can
+// count its own candidates independently from then on (one local scan per
+// iteration, no per-iteration reduction). Pruning information after the
+// split is local-only — the paper's "used if it arrives in time"
+// asynchronous broadcast modeled in its miss case.
+#pragma once
+
+#include "hashtree/hash_tree.hpp"
+#include "parallel/parallel_common.hpp"
+
+namespace eclat::par {
+
+struct CandidateDistributionConfig {
+  Count minsup = 1;
+  std::size_t redistribution_pass = 4;  ///< the paper's experiments use 4
+  bool prune = true;
+  bool triangle_l2 = true;
+  bool balanced_tree = true;
+  HashTreeConfig tree;
+};
+
+ParallelOutput candidate_distribution(
+    mc::Cluster& cluster, const HorizontalDatabase& db,
+    const CandidateDistributionConfig& config);
+
+}  // namespace eclat::par

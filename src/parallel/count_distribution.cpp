@@ -1,0 +1,205 @@
+#include "parallel/count_distribution.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "apriori/apriori.hpp"
+#include "parallel/wire.hpp"
+#include "apriori/candidate_gen.hpp"
+#include "vertical/vertical_db.hpp"
+
+namespace eclat::par {
+
+ParallelOutput count_distribution(mc::Cluster& cluster,
+                                  const HorizontalDatabase& db,
+                                  const CountDistributionConfig& config) {
+  ParallelOutput output;
+  std::mutex output_mutex;  // proc 0 writes the output exactly once
+
+  const std::uint64_t mc_bytes_before = cluster.channel().total_bytes();
+  const std::uint64_t mc_msgs_before = cluster.channel().total_messages();
+
+  cluster.run([&](mc::Processor& self) {
+    const mc::Topology& topology = self.topology();
+    const std::span<const Transaction> local =
+        local_partition(db, topology, self.id());
+    const std::size_t local_bytes = partition_bytes(local);
+
+    MiningResult result;
+
+    // --- L1: scan the local partition, reduce the item counts. ---
+    self.disk_read(local_bytes);
+    std::vector<Count> item_counts = self.compute(
+        [&] { return count_items(local, db.num_items()); });
+    self.sum_reduce(item_counts);
+    ++result.database_scans;
+
+    std::vector<Itemset> level;
+    self.compute([&] {
+      for (Item item = 0; item < db.num_items(); ++item) {
+        if (item_counts[item] >= config.minsup) {
+          result.itemsets.push_back(
+              FrequentItemset{{item}, item_counts[item]});
+          level.push_back({item});
+        }
+      }
+    });
+    result.levels.push_back(LevelStats{
+        1, static_cast<std::size_t>(db.num_items()), level.size()});
+
+    // --- L2 via the shared triangular array (CCPD §5.1 optimization):
+    // local counts, then one sum-reduction over the triangle. ---
+    std::size_t k = 2;
+    if (config.triangle_l2 && db.num_items() >= 2 && !level.empty()) {
+      TriangleCounter counter(db.num_items());
+      self.disk_read(local_bytes);
+      self.compute([&] { counter.count(local); });
+      self.sum_reduce(counter.raw());
+      ++result.database_scans;
+
+      std::size_t candidate_pairs = 0;
+      std::vector<Itemset> next_level;
+      self.compute([&] {
+        for (std::size_t i = 0; i < level.size(); ++i) {
+          for (std::size_t j = i + 1; j < level.size(); ++j) {
+            ++candidate_pairs;
+            const Item a = level[i][0];
+            const Item b = level[j][0];
+            const Count support = counter.get(a, b);
+            if (support >= config.minsup) {
+              result.itemsets.push_back(FrequentItemset{{a, b}, support});
+              next_level.push_back({a, b});
+            }
+          }
+        }
+      });
+      result.levels.push_back(
+          LevelStats{2, candidate_pairs, next_level.size()});
+      level = std::move(next_level);
+      k = 3;
+    }
+
+    // --- Lk, k >= 3: every processor builds the same candidate tree from
+    // the (globally identical) Lk-1, counts its partition, and the counts
+    // are sum-reduced. The barrier inside the reduction is the paper's
+    // per-iteration synchronization. ---
+    const std::vector<std::uint32_t> bucket_map =
+        config.balanced_tree
+            ? balanced_bucket_map(item_counts, config.tree.fanout)
+            : std::vector<std::uint32_t>{};
+
+    while (!level.empty()) {
+      std::vector<Itemset> candidates;
+      if (!config.computation_balancing) {
+        candidates = self.compute([&] {
+          return generate_candidates(level, config.prune && k >= 3);
+        });
+      } else {
+        // Computation balancing ([16]): each processor joins and prunes
+        // only its strided share of the prefix runs, then the shares are
+        // exchanged so everyone ends up with the identical full Ck.
+        const std::size_t total = topology.total();
+        std::vector<Itemset> mine = self.compute([&] {
+          // Runs of equal (k-2)-prefix are the independent join units;
+          // stride whole runs across processors.
+          std::vector<Itemset> out;
+          std::size_t run_begin = 0;
+          std::size_t run_index = 0;
+          const ItemsetSet frequent(level.begin(), level.end());
+          while (run_begin < level.size()) {
+            std::size_t run_end = run_begin + 1;
+            while (run_end < level.size() &&
+                   std::equal(level[run_begin].begin(),
+                              level[run_begin].end() - 1,
+                              level[run_end].begin())) {
+              ++run_end;
+            }
+            if (run_index % total == self.id()) {
+              std::vector<Itemset> run(level.begin() + run_begin,
+                                       level.begin() + run_end);
+              std::vector<Itemset> joined = join_level(run);
+              if (config.prune && k >= 3) {
+                joined = prune_candidates(std::move(joined), frequent);
+              }
+              out.insert(out.end(),
+                         std::make_move_iterator(joined.begin()),
+                         std::make_move_iterator(joined.end()));
+            }
+            run_begin = run_end;
+            ++run_index;
+          }
+          return out;
+        });
+        wire::Writer writer;
+        self.compute([&] {
+          writer.put<std::uint64_t>(mine.size());
+          for (const Itemset& candidate : mine) {
+            writer.put_vector(candidate);
+          }
+        });
+        const std::vector<mc::Blob> gathered =
+            self.all_gather(writer.take());
+        self.compute([&] {
+          for (const mc::Blob& blob : gathered) {
+            wire::Reader reader(blob);
+            const auto count = reader.get<std::uint64_t>();
+            for (std::uint64_t i = 0; i < count; ++i) {
+              candidates.push_back(reader.get_vector<Item>());
+            }
+          }
+        });
+      }
+      if (candidates.empty()) break;
+      std::sort(candidates.begin(), candidates.end(), lex_less);
+
+      HashTree tree(k, config.tree, bucket_map);
+      self.compute([&] {
+        for (const Itemset& candidate : candidates) tree.insert(candidate);
+      });
+
+      self.disk_read(local_bytes);
+      self.compute([&] { tree.count_all(local); });
+      ++result.database_scans;
+
+      // Extract partial counts in the (deterministic) candidate order,
+      // reduce, and select Lk — identically on every processor.
+      std::vector<Count> counts(candidates.size());
+      self.compute([&] {
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+          counts[i] = tree.find(candidates[i])->count;
+        }
+      });
+      self.sum_reduce(counts);
+
+      std::vector<Itemset> next_level;
+      self.compute([&] {
+        for (std::size_t i = 0; i < candidates.size(); ++i) {
+          if (counts[i] >= config.minsup) {
+            result.itemsets.push_back(
+                FrequentItemset{candidates[i], counts[i]});
+            next_level.push_back(candidates[i]);
+          }
+        }
+      });
+      result.levels.push_back(
+          LevelStats{k, candidates.size(), next_level.size()});
+      level = std::move(next_level);
+      ++k;
+    }
+
+    self.barrier();
+    if (self.id() == 0) {
+      normalize(result);
+      std::lock_guard lock(output_mutex);
+      output.result = std::move(result);
+    }
+  });
+
+  output.total_seconds = cluster.makespan();
+  output.phase_seconds["total"] = output.total_seconds;
+  output.mc_bytes = cluster.channel().total_bytes() - mc_bytes_before;
+  output.mc_messages = cluster.channel().total_messages() - mc_msgs_before;
+  return output;
+}
+
+}  // namespace eclat::par

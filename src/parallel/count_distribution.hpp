@@ -1,0 +1,36 @@
+// Count Distribution / CCPD (paper §3.1, refs [3, 16]): the baseline Eclat
+// is measured against in Table 2.
+//
+// Straightforward parallelization of Apriori: every processor holds a
+// replica of the entire candidate hash tree, counts partial supports
+// against its local database partition (one disk scan per iteration), and
+// a sum-reduction at the end of each iteration produces the global counts.
+// Includes the CCPD optimizations: triangular-array L2 counting, hash-tree
+// balancing, and short-circuited subset search.
+#pragma once
+
+#include "hashtree/hash_tree.hpp"
+#include "parallel/parallel_common.hpp"
+
+namespace eclat::par {
+
+struct CountDistributionConfig {
+  Count minsup = 1;
+  bool prune = true;          ///< (k-1)-subset candidate pruning
+  bool triangle_l2 = true;    ///< triangular-array C2 counting
+  bool balanced_tree = true;  ///< CCPD hash-tree balancing
+  /// CCPD computation balancing ([16]): split the candidate-generation
+  /// work (join + prune of Lk-1) across processors and exchange the
+  /// pieces, instead of every processor generating the full Ck.
+  bool computation_balancing = false;
+  HashTreeConfig tree;
+};
+
+/// Run Count Distribution on the cluster. `db` plays the role of the
+/// pre-partitioned on-disk database: processor p works on block p of a
+/// T-way split and is charged disk time for each scan of it.
+ParallelOutput count_distribution(mc::Cluster& cluster,
+                                  const HorizontalDatabase& db,
+                                  const CountDistributionConfig& config);
+
+}  // namespace eclat::par

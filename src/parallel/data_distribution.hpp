@@ -1,0 +1,26 @@
+// Data Distribution (paper §3.1, Agrawal & Shafer [3]): candidates are
+// split round-robin into disjoint per-processor sets to use the aggregate
+// memory, but every processor must see the *entire* database each
+// iteration — its own block plus all remote blocks — so the algorithm
+// drowns in communication. Included as the paper's negative baseline
+// ("performs very poorly when compared to Count Distribution").
+#pragma once
+
+#include "hashtree/hash_tree.hpp"
+#include "parallel/parallel_common.hpp"
+
+namespace eclat::par {
+
+struct DataDistributionConfig {
+  Count minsup = 1;
+  bool prune = true;
+  bool triangle_l2 = true;
+  bool balanced_tree = true;
+  HashTreeConfig tree;
+};
+
+ParallelOutput data_distribution(mc::Cluster& cluster,
+                                 const HorizontalDatabase& db,
+                                 const DataDistributionConfig& config);
+
+}  // namespace eclat::par

@@ -1,0 +1,40 @@
+// Hybrid parallelization — the improvement the paper proposes as future
+// work in §8.1: "partition the database only among the hosts. Within each
+// host the processors could share the candidate hash tree in Count
+// Distribution, while the Compute_Frequent procedure could be carried out
+// in parallel in Eclat."
+//
+// The pure algorithms split the database T ways and let every processor
+// scan its own slice, so P processors hammer each host's single local
+// disk simultaneously. The hybrids are host-aware:
+//
+//   * one processor per host (the slot-0 "leader") performs each disk
+//     scan alone — no intra-host contention — and the host's processors
+//     share the in-memory image (they are threads of one SMP node);
+//   * counting work over the host image is divided among the host's
+//     processors;
+//   * hybrid Eclat schedules equivalence classes to *hosts* first
+//     (tid-lists are exchanged leader-to-leader), then subdivides each
+//     host's classes among its processors for the asynchronous phase;
+//   * hybrid Count Distribution keeps one logical candidate tree per host
+//     and reduces counts across hosts only.
+#pragma once
+
+#include "parallel/count_distribution.hpp"
+#include "parallel/par_eclat.hpp"
+
+namespace eclat::par {
+
+/// Host-aware parallel Eclat (§8.1). Same result as par_eclat; fills the
+/// same four phase entries.
+ParallelOutput hybrid_eclat(mc::Cluster& cluster,
+                            const HorizontalDatabase& db,
+                            const ParEclatConfig& config);
+
+/// Host-aware Count Distribution (§8.1): shared per-host candidate tree,
+/// leader-only disk scans, inter-host reductions.
+ParallelOutput hybrid_count_distribution(
+    mc::Cluster& cluster, const HorizontalDatabase& db,
+    const CountDistributionConfig& config);
+
+}  // namespace eclat::par

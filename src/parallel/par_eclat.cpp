@@ -1,0 +1,238 @@
+#include "parallel/par_eclat.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+
+#include "apriori/apriori.hpp"
+#include "parallel/wire.hpp"
+#include "vertical/vertical_db.hpp"
+
+namespace eclat::par {
+
+namespace {
+
+std::vector<std::size_t> make_schedule(
+    std::span<const EquivalenceClass> classes, std::size_t total,
+    ScheduleHeuristic heuristic, const TriangleCounter& counter) {
+  switch (heuristic) {
+    case ScheduleHeuristic::kRoundRobin:
+      return schedule_round_robin(classes, total);
+    case ScheduleHeuristic::kGreedySupport: {
+      std::vector<std::size_t> weights(classes.size());
+      for (std::size_t c = 0; c < classes.size(); ++c) {
+        weights[c] = support_weight(classes[c], counter);
+      }
+      return schedule_greedy_by_weight(weights, total);
+    }
+    case ScheduleHeuristic::kGreedyWeight:
+    default:
+      return schedule_greedy(classes, total);
+  }
+}
+
+}  // namespace
+
+ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
+                         const ParEclatConfig& config) {
+  ParallelOutput output;
+  std::mutex output_mutex;
+
+  const std::size_t total = cluster.topology().total();
+  // Instrumentation only (never part of virtual time): per-processor
+  // virtual timestamps at phase boundaries. Disjoint slots, no locking.
+  std::vector<double> init_end(total, 0.0);
+  std::vector<double> transform_end(total, 0.0);
+  std::vector<double> async_end(total, 0.0);
+
+  const std::uint64_t mc_bytes_before = cluster.channel().total_bytes();
+  const std::uint64_t mc_msgs_before = cluster.channel().total_messages();
+
+  cluster.run([&](mc::Processor& self) {
+    const mc::Topology& topology = self.topology();
+    const std::size_t me = self.id();
+    const std::span<const Transaction> local =
+        local_partition(db, topology, me);
+    const std::size_t local_bytes = partition_bytes(local);
+
+    // ----- Phase 1: initialization (first local scan, global L2). -----
+    self.phase_begin("initialization");
+    TriangleCounter counter(std::max<Item>(db.num_items(), 2));
+    self.disk_read(local_bytes);
+    self.compute([&] { counter.count(local); });
+
+    std::vector<Count> item_counts;
+    if (config.include_singletons) {
+      item_counts =
+          self.compute([&] { return count_items(local, db.num_items()); });
+      self.sum_reduce(item_counts, mc::Processor::ReduceScheme::kTree);
+    }
+    // One-time reduction: the O(log P) scheme of the paper's footnote 2.
+    self.sum_reduce(counter.raw(), mc::Processor::ReduceScheme::kTree);
+    self.phase_end("initialization");
+    init_end[me] = self.now();
+
+    // ----- Phase 2: transformation. -----
+    self.phase_begin("transformation");
+    // Every processor derives the same L2, classes and schedule from the
+    // global counts (paper §5.2.1: "done concurrently on all the
+    // processors since all of them have access to the global L2").
+    struct Plan {
+      std::vector<PairKey> frequent_pairs;
+      std::vector<EquivalenceClass> classes;
+      std::vector<std::size_t> assignment;
+      std::vector<PairKey> exchanged_pairs;  // pairs in classes of size >= 2
+      std::unordered_map<PairKey, std::size_t> owner_of;
+    };
+    Plan plan = self.compute([&] {
+      Plan p;
+      p.frequent_pairs = counter.frequent_pairs(config.minsup);
+      p.classes = partition_into_classes(p.frequent_pairs);
+      p.assignment =
+          make_schedule(p.classes, total, config.schedule, counter);
+      for (std::size_t c = 0; c < p.classes.size(); ++c) {
+        // Singleton classes generate no candidates (§4.1) — their
+        // 2-itemsets are already globally counted, so no tid-lists move.
+        if (p.classes[c].size() < 2) continue;
+        for (PairKey key : p.classes[c].pair_keys()) {
+          p.owner_of.emplace(key, p.assignment[c]);
+          p.exchanged_pairs.push_back(key);
+        }
+      }
+      return p;
+    });
+
+    // Second local scan: partial tid-lists for every exchanged 2-itemset.
+    self.disk_read(local_bytes);
+    std::unordered_map<PairKey, TidList> partial = self.compute(
+        [&] { return invert_pairs(local, plan.exchanged_pairs); });
+
+    // Route each partial list to its class owner. Pairs are serialized in
+    // the global (class, member) order so receivers can merge partial
+    // lists per source in one pass.
+    std::vector<mc::Blob> outgoing(total);
+    self.compute([&] {
+      std::vector<wire::Writer> writers(total);
+      for (PairKey key : plan.exchanged_pairs) {
+        const std::size_t owner = plan.owner_of.at(key);
+        writers[owner].put(key);
+        writers[owner].put_vector(partial.at(key));
+      }
+      for (std::size_t dst = 0; dst < total; ++dst) {
+        outgoing[dst] = writers[dst].take();
+      }
+    });
+    std::vector<mc::Blob> incoming = self.all_to_all(std::move(outgoing));
+
+    // Merge in source order: the database is block-partitioned, so source
+    // p's tids all precede source p+1's — concatenation is already the
+    // lexicographically sorted global tid-list (paper §6.3).
+    std::unordered_map<PairKey, TidList> my_lists;
+    std::size_t vertical_bytes = 0;
+    self.compute([&] {
+      for (std::size_t src = 0; src < total; ++src) {
+        wire::Reader reader(incoming[src]);
+        while (!reader.done()) {
+          const auto key = reader.get<PairKey>();
+          const std::vector<Tid> tids = reader.get_vector<Tid>();
+          TidList& list = my_lists[key];
+          list.insert(list.end(), tids.begin(), tids.end());
+        }
+      }
+      for (const auto& [key, list] : my_lists) {
+        vertical_bytes += sizeof(PairKey) + list.size() * sizeof(Tid);
+      }
+    });
+    // The merged global tid-lists of the local classes go to local disk
+    // (those of remote classes were never materialized here).
+    self.disk_write(vertical_bytes);
+    self.phase_end("transformation");
+    transform_end[me] = self.now();
+
+    // ----- Phase 3: asynchronous (third scan; zero communication). -----
+    self.phase_begin("asynchronous");
+    self.disk_read(vertical_bytes);
+    std::vector<FrequentItemset> found;
+    self.compute([&] {
+      std::vector<std::size_t> histogram;
+      for (std::size_t c = 0; c < plan.classes.size(); ++c) {
+        const EquivalenceClass& eq_class = plan.classes[c];
+        if (eq_class.size() < 2 || plan.assignment[c] != me) continue;
+        std::vector<Atom> atoms;
+        atoms.reserve(eq_class.size());
+        for (Item member : eq_class.members) {
+          const PairKey key = make_pair_key(eq_class.prefix, member);
+          atoms.push_back(Atom{{eq_class.prefix, member},
+                               std::move(my_lists.at(key))});
+        }
+        compute_frequent(atoms, config.minsup, config.kernel, found,
+                         histogram);
+      }
+    });
+    self.phase_end("asynchronous");
+    async_end[me] = self.now();
+
+    // ----- Phase 4: final reduction (same scheme as initialization). ---
+    self.phase_begin("reduction");
+    wire::Writer writer;
+    self.compute([&] {
+      writer.put<std::uint64_t>(found.size());
+      for (const FrequentItemset& f : found) {
+        writer.put_vector(f.items);
+        writer.put<Count>(f.support);
+      }
+    });
+    std::vector<mc::Blob> gathered = self.all_gather(writer.take());
+    self.phase_end("reduction");
+
+    if (me == 0) {
+      MiningResult result;
+      result.database_scans = 3;  // two horizontal scans + vertical read
+      if (config.include_singletons) {
+        for (Item item = 0; item < db.num_items(); ++item) {
+          if (item_counts[item] >= config.minsup) {
+            result.itemsets.push_back(
+                FrequentItemset{{item}, item_counts[item]});
+          }
+        }
+      }
+      for (PairKey key : plan.frequent_pairs) {
+        result.itemsets.push_back(FrequentItemset{
+            {pair_first(key), pair_second(key)},
+            counter.get(pair_first(key), pair_second(key))});
+      }
+      for (const mc::Blob& blob : gathered) {
+        wire::Reader reader(blob);
+        const auto count = reader.get<std::uint64_t>();
+        for (std::uint64_t i = 0; i < count; ++i) {
+          FrequentItemset f;
+          f.items = reader.get_vector<Item>();
+          f.support = reader.get<Count>();
+          result.itemsets.push_back(std::move(f));
+        }
+      }
+      normalize(result);
+      for (std::size_t k = 1; k <= result.max_size(); ++k) {
+        result.levels.push_back(LevelStats{k, 0, result.count_of_size(k)});
+      }
+      std::lock_guard lock(output_mutex);
+      output.result = std::move(result);
+    }
+  });
+
+  const double t_init = *std::max_element(init_end.begin(), init_end.end());
+  const double t_transform =
+      *std::max_element(transform_end.begin(), transform_end.end());
+  const double t_async =
+      *std::max_element(async_end.begin(), async_end.end());
+  output.total_seconds = cluster.makespan();
+  output.phase_seconds["initialization"] = t_init;
+  output.phase_seconds["transformation"] = t_transform - t_init;
+  output.phase_seconds["asynchronous"] = t_async - t_transform;
+  output.phase_seconds["reduction"] = output.total_seconds - t_async;
+  output.mc_bytes = cluster.channel().total_bytes() - mc_bytes_before;
+  output.mc_messages = cluster.channel().total_messages() - mc_msgs_before;
+  return output;
+}
+
+}  // namespace eclat::par

@@ -1,0 +1,21 @@
+#include "parallel/parallel_common.hpp"
+
+namespace eclat::par {
+
+std::span<const Transaction> local_partition(const HorizontalDatabase& db,
+                                             const mc::Topology& topology,
+                                             std::size_t proc) {
+  const std::vector<Block> blocks = db.block_partition(topology.total());
+  return db.view(blocks[proc]);
+}
+
+std::size_t partition_bytes(std::span<const Transaction> transactions) {
+  std::size_t bytes = 0;
+  for (const Transaction& t : transactions) {
+    bytes += sizeof(Tid) + sizeof(std::uint32_t) +
+             t.items.size() * sizeof(Item);
+  }
+  return bytes;
+}
+
+}  // namespace eclat::par

@@ -1,0 +1,48 @@
+// Types shared by all parallel mining algorithms.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/result.hpp"
+#include "data/horizontal.hpp"
+#include "mc/cluster.hpp"
+
+namespace eclat::par {
+
+/// What a parallel run returns: the (globally identical) mining result plus
+/// the virtual-time accounting the benchmarks report.
+struct ParallelOutput {
+  MiningResult result;
+
+  double total_seconds = 0.0;  ///< makespan (max final virtual clock)
+  /// Named phase durations; for Eclat: "initialization", "transformation",
+  /// "asynchronous", "reduction". "setup" = initialization+transformation
+  /// (the break-up column of the paper's Table 2).
+  std::map<std::string, double> phase_seconds;
+
+  std::uint64_t mc_bytes = 0;     ///< Memory Channel traffic of the run
+  std::uint64_t mc_messages = 0;
+
+  double setup_seconds() const {
+    double setup = 0.0;
+    for (const auto& [name, seconds] : phase_seconds) {
+      if (name == "initialization" || name == "transformation") {
+        setup += seconds;
+      }
+    }
+    return setup;
+  }
+};
+
+/// The per-processor slice of the horizontally partitioned database: block
+/// `p` of a T-way equal split (paper §3: equal-sized blocks on each
+/// processor's local disk).
+std::span<const Transaction> local_partition(const HorizontalDatabase& db,
+                                             const mc::Topology& topology,
+                                             std::size_t proc);
+
+/// Bytes of the local partition, for disk-scan cost charging.
+std::size_t partition_bytes(std::span<const Transaction> transactions);
+
+}  // namespace eclat::par

@@ -1,0 +1,84 @@
+// Byte-level serialization helpers for payloads exchanged between simulated
+// processors (tid-lists, itemsets, counts). Little-endian, fixed-width —
+// all simulated processors share one address space, so no byte-swapping.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mc/cluster.hpp"
+
+namespace eclat::wire {
+
+/// Append-only writer over a growable byte buffer.
+class Writer {
+ public:
+  template <typename T>
+  void put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t offset = blob_.size();
+    blob_.resize(offset + sizeof(T));
+    std::memcpy(blob_.data() + offset, &value, sizeof(T));
+  }
+
+  template <typename T>
+  void put_vector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put<std::uint64_t>(values.size());
+    const std::size_t offset = blob_.size();
+    blob_.resize(offset + values.size() * sizeof(T));
+    std::memcpy(blob_.data() + offset, values.data(),
+                values.size() * sizeof(T));
+  }
+
+  mc::Blob take() { return std::move(blob_); }
+
+  std::size_t size() const { return blob_.size(); }
+
+ private:
+  mc::Blob blob_;
+};
+
+/// Sequential reader over a received blob; throws on underrun.
+class Reader {
+ public:
+  explicit Reader(const mc::Blob& blob) : blob_(blob) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    require(sizeof(T));
+    T value;
+    std::memcpy(&value, blob_.data() + cursor_, sizeof(T));
+    cursor_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+  std::vector<T> get_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto count = get<std::uint64_t>();
+    require(count * sizeof(T));
+    std::vector<T> values(count);
+    std::memcpy(values.data(), blob_.data() + cursor_, count * sizeof(T));
+    cursor_ += count * sizeof(T);
+    return values;
+  }
+
+  bool done() const { return cursor_ == blob_.size(); }
+
+ private:
+  void require(std::size_t bytes) const {
+    if (cursor_ + bytes > blob_.size()) {
+      throw std::runtime_error("wire payload underrun");
+    }
+  }
+
+  const mc::Blob& blob_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace eclat::wire

@@ -1,0 +1,42 @@
+// The Partition algorithm (Savasere, Omiecinski & Navathe, VLDB 1995) —
+// the two-scan sequential baseline the paper's related-work section
+// contrasts Eclat against (§1.2: "minimizes I/O by scanning the database
+// only twice").
+//
+// Pass 1: split the database into memory-sized chunks and mine *each chunk
+// completely* (here with in-memory Eclat at a proportionally scaled local
+// support). Any globally frequent itemset is locally frequent in at least
+// one chunk (pigeonhole on supports), so the union of local results is a
+// superset of the answer.
+// Pass 2: one more scan counts the global support of every candidate and
+// filters by the true minimum support.
+#pragma once
+
+#include "common/result.hpp"
+#include "data/horizontal.hpp"
+
+namespace eclat {
+
+struct PartitionConfig {
+  Count minsup = 1;          ///< absolute global minimum support
+  std::size_t chunks = 4;    ///< number of in-memory partitions
+};
+
+struct PartitionStats {
+  std::size_t candidates = 0;       ///< union of locally frequent itemsets
+  std::size_t false_positives = 0;  ///< candidates that failed pass 2
+  std::size_t database_scans = 0;   ///< always 2
+};
+
+/// Mine all frequent itemsets with the Partition algorithm.
+MiningResult partition_mine(const HorizontalDatabase& db,
+                            const PartitionConfig& config,
+                            PartitionStats* stats = nullptr);
+
+/// The local minimum support for a chunk of `chunk_size` transactions so
+/// that local frequency is implied by global frequency:
+/// ceil(minsup * chunk_size / total), at least 1.
+Count local_minsup(Count global_minsup, std::size_t chunk_size,
+                   std::size_t total_size);
+
+}  // namespace eclat

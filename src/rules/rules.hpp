@@ -1,0 +1,56 @@
+// Association-rule generation — step two of the KDD task (paper §1.1).
+//
+// From every frequent itemset X and non-empty Y ⊂ X, the rule
+// (X − Y) → Y holds when confidence = support(X) / support(X − Y) meets
+// the user threshold. Uses the ap-genrules recursion of Agrawal & Srikant:
+// consequents grow level-wise, and a consequent that fails confidence
+// prunes all of its supersets (support(antecedent) only grows as the
+// antecedent shrinks, so confidence only drops).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "apriori/candidate_gen.hpp"
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace eclat {
+
+struct AssociationRule {
+  Itemset antecedent;  ///< X - Y
+  Itemset consequent;  ///< Y
+  Count support = 0;   ///< support(X)
+  double confidence = 0.0;
+  double lift = 0.0;   ///< confidence / P(consequent)
+
+  friend bool operator==(const AssociationRule&,
+                         const AssociationRule&) = default;
+};
+
+struct RuleConfig {
+  double min_confidence = 0.5;
+};
+
+/// Fast lookup table from itemset to support, built once per result.
+class SupportIndex {
+ public:
+  explicit SupportIndex(const MiningResult& result);
+
+  /// Support of `itemset`; 0 when it is not frequent.
+  Count support(const Itemset& itemset) const;
+
+ private:
+  std::unordered_map<Itemset, Count, ItemsetHash> table_;
+};
+
+/// Generate all confident rules from a mining result. `num_transactions`
+/// is |D| (needed for lift). Rules are sorted by descending confidence,
+/// ties by descending support.
+std::vector<AssociationRule> generate_rules(const MiningResult& result,
+                                            std::size_t num_transactions,
+                                            const RuleConfig& config);
+
+std::string to_string(const AssociationRule& rule);
+
+}  // namespace eclat

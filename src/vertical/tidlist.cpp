@@ -1,0 +1,132 @@
+#include "vertical/tidlist.hpp"
+
+#include <algorithm>
+
+namespace eclat {
+
+bool is_valid_tidlist(std::span<const Tid> tids) {
+  for (std::size_t i = 1; i < tids.size(); ++i) {
+    if (tids[i - 1] >= tids[i]) return false;
+  }
+  return true;
+}
+
+TidList intersect(std::span<const Tid> a, std::span<const Tid> b) {
+  TidList out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out.push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+std::size_t intersection_size(std::span<const Tid> a, std::span<const Tid> b) {
+  std::size_t count = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+std::optional<TidList> intersect_short_circuit(std::span<const Tid> a,
+                                               std::span<const Tid> b,
+                                               Count minsup) {
+  // Result support <= matched + remaining elements of the shorter list.
+  if (std::min(a.size(), b.size()) < minsup) return std::nullopt;
+  TidList out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const std::size_t bound =
+        out.size() + std::min(a.size() - i, b.size() - j);
+    if (bound < minsup) return std::nullopt;
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out.push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  if (out.size() < minsup) return std::nullopt;
+  return out;
+}
+
+namespace {
+
+/// First index in [lo, span.size()) with span[index] >= target, found by
+/// doubling probes from `lo` then binary search within the bracket.
+std::size_t gallop_lower_bound(std::span<const Tid> span, std::size_t lo,
+                               Tid target) {
+  std::size_t step = 1;
+  std::size_t hi = lo;
+  while (hi < span.size() && span[hi] < target) {
+    lo = hi + 1;
+    hi += step;
+    step *= 2;
+  }
+  hi = std::min(hi, span.size());
+  const auto* begin = span.data() + lo;
+  const auto* end = span.data() + hi;
+  return static_cast<std::size_t>(
+      std::lower_bound(begin, end, target) - span.data());
+}
+
+}  // namespace
+
+TidList intersect_gallop(std::span<const Tid> a, std::span<const Tid> b) {
+  if (a.size() > b.size()) return intersect_gallop(b, a);
+  TidList out;
+  out.reserve(a.size());
+  std::size_t j = 0;
+  for (const Tid target : a) {
+    j = gallop_lower_bound(b, j, target);
+    if (j == b.size()) break;
+    if (b[j] == target) {
+      out.push_back(target);
+      ++j;
+    }
+  }
+  return out;
+}
+
+TidList difference(std::span<const Tid> a, std::span<const Tid> b) {
+  TidList out;
+  out.reserve(a.size());
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+TidList unite(std::span<const Tid> a, std::span<const Tid> b) {
+  TidList out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace eclat

@@ -1,0 +1,48 @@
+// Vertical ("inverted" / decomposed storage) layout: each itemset maps to
+// its tid-list, the sorted list of identifiers of the transactions that
+// contain it (paper §4.2). The support of a k-itemset is the cardinality of
+// the intersection of the tid-lists of any two of its (k-1)-subsets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace eclat {
+
+/// Sorted, duplicate-free list of transaction ids.
+using TidList = std::vector<Tid>;
+
+/// True iff `tids` is strictly increasing (tid-list class invariant).
+bool is_valid_tidlist(std::span<const Tid> tids);
+
+/// Plain sorted-merge intersection: out = a ∩ b.
+TidList intersect(std::span<const Tid> a, std::span<const Tid> b);
+
+/// Intersection size only (no output list materialized).
+std::size_t intersection_size(std::span<const Tid> a, std::span<const Tid> b);
+
+/// Short-circuited intersection (paper §5.3): the support of the result is
+/// bounded above by min(|a|,|b|); once enough mismatches accumulate that the
+/// bound drops below `minsup`, abort. Returns nullopt iff the intersection
+/// provably has fewer than `minsup` elements (the partial list is
+/// discarded); otherwise the exact intersection.
+std::optional<TidList> intersect_short_circuit(std::span<const Tid> a,
+                                               std::span<const Tid> b,
+                                               Count minsup);
+
+/// Galloping (exponential-search) intersection; wins when one list is much
+/// shorter than the other. Used by the kernel-ablation benchmark.
+TidList intersect_gallop(std::span<const Tid> a, std::span<const Tid> b);
+
+/// Difference a \ b (used by the failure-injection tests and diffsets
+/// extension).
+TidList difference(std::span<const Tid> a, std::span<const Tid> b);
+
+/// Union a ∪ b.
+TidList unite(std::span<const Tid> a, std::span<const Tid> b);
+
+}  // namespace eclat

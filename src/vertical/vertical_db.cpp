@@ -1,0 +1,92 @@
+#include "vertical/vertical_db.hpp"
+
+#include <stdexcept>
+
+namespace eclat {
+
+std::vector<TidList> invert_items(std::span<const Transaction> transactions,
+                                  Item num_items) {
+  std::vector<TidList> lists(num_items);
+  for (const Transaction& t : transactions) {
+    for (Item item : t.items) {
+      lists[item].push_back(t.tid);
+    }
+  }
+  return lists;
+}
+
+std::unordered_map<PairKey, TidList> invert_pairs(
+    std::span<const Transaction> transactions,
+    const std::vector<PairKey>& pairs) {
+  std::unordered_map<PairKey, TidList> lists;
+  lists.reserve(pairs.size());
+  for (PairKey key : pairs) lists.emplace(key, TidList{});
+  for (const Transaction& t : transactions) {
+    const Itemset& items = t.items;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      for (std::size_t j = i + 1; j < items.size(); ++j) {
+        const auto it = lists.find(make_pair_key(items[i], items[j]));
+        if (it != lists.end()) it->second.push_back(t.tid);
+      }
+    }
+  }
+  return lists;
+}
+
+TriangleCounter::TriangleCounter(Item num_items) : num_items_(num_items) {
+  if (num_items < 2) {
+    throw std::invalid_argument("TriangleCounter needs >= 2 items");
+  }
+  const std::size_t n = num_items;
+  counts_.assign(n * (n - 1) / 2, 0);
+}
+
+std::size_t TriangleCounter::index(Item a, Item b) const {
+  if (a > b) std::swap(a, b);
+  if (a == b || b >= num_items_) {
+    throw std::out_of_range("invalid pair for TriangleCounter");
+  }
+  // Row-major upper triangle: rows 0..a-1 hold (n-1) + (n-2) + ... +
+  // (n-a) = a*n - a*(a+1)/2 cells, then offset by b within row a.
+  const std::size_t n = num_items_;
+  const std::size_t row_start = a * n - a * (a + 1) / 2;
+  return row_start + (b - a - 1);
+}
+
+void TriangleCounter::count(std::span<const Transaction> transactions) {
+  for (const Transaction& t : transactions) {
+    const Itemset& items = t.items;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      for (std::size_t j = i + 1; j < items.size(); ++j) {
+        ++counts_[index(items[i], items[j])];
+      }
+    }
+  }
+}
+
+Count TriangleCounter::get(Item a, Item b) const {
+  return counts_[index(a, b)];
+}
+
+void TriangleCounter::merge(const TriangleCounter& other) {
+  if (other.num_items_ != num_items_) {
+    throw std::invalid_argument("TriangleCounter size mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+}
+
+std::vector<PairKey> TriangleCounter::frequent_pairs(Count minsup) const {
+  std::vector<PairKey> pairs;
+  for (Item a = 0; a + 1 < num_items_; ++a) {
+    for (Item b = a + 1; b < num_items_; ++b) {
+      if (counts_[index(a, b)] >= minsup) {
+        pairs.push_back(make_pair_key(a, b));
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace eclat

@@ -1,0 +1,77 @@
+// Horizontal → vertical database transformation (paper §5.2.2 / §6.3).
+//
+// A PairKey packs a 2-itemset {i, j} (i < j) into one 64-bit word so pair
+// tid-lists can live in flat hash maps without heap-allocated keys.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "data/horizontal.hpp"
+#include "vertical/tidlist.hpp"
+
+namespace eclat {
+
+/// Packed 2-itemset key: high word = smaller item, low word = larger item.
+using PairKey = std::uint64_t;
+
+constexpr PairKey make_pair_key(Item a, Item b) {
+  return a < b ? (static_cast<PairKey>(a) << 32) | b
+               : (static_cast<PairKey>(b) << 32) | a;
+}
+
+constexpr Item pair_first(PairKey key) {
+  return static_cast<Item>(key >> 32);
+}
+
+constexpr Item pair_second(PairKey key) {
+  return static_cast<Item>(key & 0xffffffffULL);
+}
+
+/// Tid-lists of single items over a span of transactions. Lists come out
+/// sorted because transactions are visited in tid order.
+std::vector<TidList> invert_items(std::span<const Transaction> transactions,
+                                  Item num_items);
+
+/// Tid-lists of the given 2-itemsets over a span of transactions
+/// (the per-partition partial tid-lists of Eclat's transformation phase).
+/// Only pairs present in `pairs` are materialized.
+std::unordered_map<PairKey, TidList> invert_pairs(
+    std::span<const Transaction> transactions,
+    const std::vector<PairKey>& pairs);
+
+/// Upper-triangular 2-itemset support counter (paper §5.1): local counts of
+/// all C(N,2) pairs in one pass over a horizontal partition, O(1) space per
+/// pair, no hash structures.
+class TriangleCounter {
+ public:
+  explicit TriangleCounter(Item num_items);
+
+  /// Count every 2-subset of every transaction in the span.
+  void count(std::span<const Transaction> transactions);
+
+  /// Support of pair {a, b}; a != b.
+  Count get(Item a, Item b) const;
+
+  /// Element-wise accumulate another counter (the sum-reduction step).
+  void merge(const TriangleCounter& other);
+
+  Item num_items() const { return num_items_; }
+
+  /// All pairs whose count is >= minsup, in lexicographic order.
+  std::vector<PairKey> frequent_pairs(Count minsup) const;
+
+  /// Direct access for the Memory Channel reduction (row-major triangle).
+  std::span<const Count> raw() const { return counts_; }
+  std::span<Count> raw() { return counts_; }
+
+ private:
+  std::size_t index(Item a, Item b) const;
+
+  Item num_items_;
+  std::vector<Count> counts_;
+};
+
+}  // namespace eclat

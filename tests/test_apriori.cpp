@@ -1,0 +1,132 @@
+#include "apriori/apriori.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace eclat {
+namespace {
+
+using testutil::brute_force_mine;
+using testutil::handmade_db;
+using testutil::same_itemsets;
+using testutil::small_quest_db;
+
+TEST(CountItems, CountsSingleItems) {
+  const HorizontalDatabase db = handmade_db();
+  const std::vector<Count> counts =
+      count_items(db.transactions(), db.num_items());
+  EXPECT_EQ(counts[0], 7u);
+  EXPECT_EQ(counts[1], 7u);
+  EXPECT_EQ(counts[2], 7u);
+  EXPECT_EQ(counts[3], 6u);
+}
+
+TEST(Apriori, HandmadeDatabaseKnownSupports) {
+  AprioriConfig config;
+  config.minsup = 4;
+  const MiningResult result = apriori(handmade_db(), config);
+
+  const auto find = [&](const Itemset& items) -> Count {
+    for (const FrequentItemset& f : result.itemsets) {
+      if (f.items == items) return f.support;
+    }
+    return 0;
+  };
+  EXPECT_EQ(find({0}), 7u);
+  EXPECT_EQ(find({0, 1}), 6u);
+  EXPECT_EQ(find({0, 2}), 5u);
+  EXPECT_EQ(find({1, 2}), 5u);
+  EXPECT_EQ(find({0, 1, 2}), 4u);
+  EXPECT_EQ(find({0, 3}), 4u);
+  EXPECT_EQ(find({2, 3}), 4u);
+  EXPECT_EQ(find({0, 1, 3}), 0u);  // support 3 < 4
+}
+
+TEST(Apriori, MatchesBruteForceOnGeneratedData) {
+  const HorizontalDatabase db = small_quest_db();
+  for (Count minsup : {3u, 5u, 10u, 30u}) {
+    AprioriConfig config;
+    config.minsup = minsup;
+    const MiningResult mined = apriori(db, config);
+    const MiningResult reference = brute_force_mine(db, minsup);
+    EXPECT_TRUE(same_itemsets(mined, reference)) << "minsup=" << minsup;
+  }
+}
+
+TEST(Apriori, TriangleAndHashTreeL2Agree) {
+  const HorizontalDatabase db = small_quest_db();
+  AprioriConfig triangle;
+  triangle.minsup = 5;
+  triangle.triangle_l2 = true;
+  AprioriConfig tree;
+  tree.minsup = 5;
+  tree.triangle_l2 = false;
+  EXPECT_TRUE(same_itemsets(apriori(db, triangle), apriori(db, tree)));
+}
+
+TEST(Apriori, PruningDoesNotChangeTheAnswer) {
+  const HorizontalDatabase db = small_quest_db();
+  AprioriConfig pruned;
+  pruned.minsup = 4;
+  pruned.prune = true;
+  AprioriConfig unpruned;
+  unpruned.minsup = 4;
+  unpruned.prune = false;
+  EXPECT_TRUE(same_itemsets(apriori(db, pruned), apriori(db, unpruned)));
+}
+
+TEST(Apriori, BalancedTreeDoesNotChangeTheAnswer) {
+  const HorizontalDatabase db = small_quest_db();
+  AprioriConfig balanced;
+  balanced.minsup = 4;
+  balanced.balanced_tree = true;
+  AprioriConfig plain;
+  plain.minsup = 4;
+  plain.balanced_tree = false;
+  EXPECT_TRUE(same_itemsets(apriori(db, balanced), apriori(db, plain)));
+}
+
+TEST(Apriori, OneScanPerLevel) {
+  AprioriConfig config;
+  config.minsup = 4;
+  const MiningResult result = apriori(handmade_db(), config);
+  // One counting pass per reported level: L1, L2 (triangle), L3.
+  EXPECT_GE(result.database_scans, 3u);
+  EXPECT_EQ(result.database_scans, result.levels.size());
+}
+
+TEST(Apriori, HighSupportLeavesOnlySingletonsOrNothing) {
+  AprioriConfig config;
+  config.minsup = 100;  // nothing reaches this in 10 transactions
+  const MiningResult result = apriori(handmade_db(), config);
+  EXPECT_TRUE(result.itemsets.empty());
+}
+
+TEST(Apriori, MinsupOneFindsEverything) {
+  AprioriConfig config;
+  config.minsup = 1;
+  const MiningResult result = apriori(handmade_db(), config);
+  const MiningResult reference = brute_force_mine(handmade_db(), 1);
+  EXPECT_TRUE(same_itemsets(result, reference));
+}
+
+TEST(Apriori, EmptyDatabase) {
+  HorizontalDatabase db;
+  AprioriConfig config;
+  config.minsup = 1;
+  const MiningResult result = apriori(db, config);
+  EXPECT_TRUE(result.itemsets.empty());
+}
+
+TEST(Apriori, LevelStatsAreConsistent) {
+  AprioriConfig config;
+  config.minsup = 4;
+  const MiningResult result = apriori(handmade_db(), config);
+  for (const LevelStats& level : result.levels) {
+    EXPECT_EQ(level.frequent, result.count_of_size(level.k)) << level.k;
+  }
+}
+
+}  // namespace
+}  // namespace eclat

@@ -1,0 +1,86 @@
+#include "parallel/candidate_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apriori/apriori.hpp"
+#include "test_util.hpp"
+
+namespace eclat::par {
+namespace {
+
+using testutil::same_itemsets;
+using testutil::small_quest_db;
+
+TEST(CandidateDistribution, SingleProcessorMatchesApriori) {
+  const HorizontalDatabase db = small_quest_db();
+  mc::Cluster cluster(mc::Topology{1, 1});
+  CandidateDistributionConfig config;
+  config.minsup = 5;
+  const ParallelOutput output = candidate_distribution(cluster, db, config);
+
+  AprioriConfig sequential;
+  sequential.minsup = 5;
+  EXPECT_TRUE(same_itemsets(output.result, apriori(db, sequential)));
+}
+
+class CandidateDistributionTopology
+    : public ::testing::TestWithParam<mc::Topology> {};
+
+TEST_P(CandidateDistributionTopology, ResultIndependentOfTopology) {
+  const HorizontalDatabase db = small_quest_db(400, 30, 17);
+  AprioriConfig sequential;
+  sequential.minsup = 5;
+  const MiningResult reference = apriori(db, sequential);
+
+  mc::Cluster cluster(GetParam());
+  CandidateDistributionConfig config;
+  config.minsup = 5;
+  const ParallelOutput output = candidate_distribution(cluster, db, config);
+  EXPECT_TRUE(same_itemsets(output.result, reference)) << GetParam().label();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, CandidateDistributionTopology,
+    ::testing::Values(mc::Topology{1, 1}, mc::Topology{2, 1},
+                      mc::Topology{2, 2}, mc::Topology{4, 2}),
+    [](const auto& info) {
+      return "H" + std::to_string(info.param.hosts) + "P" +
+             std::to_string(info.param.procs_per_host);
+    });
+
+class RedistributionPassSweep : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(RedistributionPassSweep, AnyPassChoiceGivesSameAnswer) {
+  const HorizontalDatabase db = small_quest_db(500, 25, 3);
+  AprioriConfig sequential;
+  sequential.minsup = 5;
+  const MiningResult reference = apriori(db, sequential);
+
+  mc::Cluster cluster(mc::Topology{2, 2});
+  CandidateDistributionConfig config;
+  config.minsup = 5;
+  config.redistribution_pass = GetParam();
+  const ParallelOutput output = candidate_distribution(cluster, db, config);
+  EXPECT_TRUE(same_itemsets(output.result, reference))
+      << "pass=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Passes, RedistributionPassSweep,
+                         ::testing::Values(3u, 4u, 5u, 99u));
+
+TEST(CandidateDistribution, RedistributionIsReportedWhenItHappens) {
+  const HorizontalDatabase db = small_quest_db(500, 25, 3);
+  mc::Cluster cluster(mc::Topology{2, 2});
+  CandidateDistributionConfig config;
+  config.minsup = 4;
+  config.redistribution_pass = 3;
+  const ParallelOutput output = candidate_distribution(cluster, db, config);
+  // The mined data reaches size >= 3, so the split happened.
+  if (output.result.max_size() >= 3) {
+    EXPECT_TRUE(output.phase_seconds.count("redistribution_end"));
+  }
+}
+
+}  // namespace
+}  // namespace eclat::par

@@ -1,0 +1,106 @@
+#include "apriori/candidate_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace eclat {
+namespace {
+
+TEST(JoinLevel, ReproducesPaperExample) {
+  // Paper §2: L2 = {AB, AC, AD, AE, BC, BD, BE, DE} with A=0..E=4
+  // => C3 = {ABC, ABD, ABE, ACD, ACE, ADE, BCD, BCE, BDE}.
+  const std::vector<Itemset> l2 = {{0, 1}, {0, 2}, {0, 3}, {0, 4},
+                                   {1, 2}, {1, 3}, {1, 4}, {3, 4}};
+  const std::vector<Itemset> c3 = join_level(l2);
+  const std::vector<Itemset> expected = {{0, 1, 2}, {0, 1, 3}, {0, 1, 4},
+                                         {0, 2, 3}, {0, 2, 4}, {0, 3, 4},
+                                         {1, 2, 3}, {1, 2, 4}, {1, 3, 4}};
+  EXPECT_EQ(c3, expected);
+}
+
+TEST(JoinLevel, EmptyAndSingletonLevels) {
+  EXPECT_TRUE(join_level(std::vector<Itemset>{}).empty());
+  EXPECT_TRUE(join_level(std::vector<Itemset>{{1, 2}}).empty());
+}
+
+TEST(JoinLevel, JoinsOneItemsets) {
+  const std::vector<Itemset> l1 = {{1}, {3}, {7}};
+  const std::vector<Itemset> c2 = join_level(l1);
+  const std::vector<Itemset> expected = {{1, 3}, {1, 7}, {3, 7}};
+  EXPECT_EQ(c2, expected);
+}
+
+TEST(JoinLevel, OnlyJoinsSharedPrefixRuns) {
+  const std::vector<Itemset> level = {{1, 2, 3}, {1, 2, 5}, {1, 4, 5}};
+  const std::vector<Itemset> result = join_level(level);
+  // {1,2,3} and {1,2,5} share prefix {1,2}; {1,4,5} is alone.
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], (Itemset{1, 2, 3, 5}));
+}
+
+TEST(PruneCandidates, DropsCandidatesWithInfrequentSubsets) {
+  // Paper §2 continued: with DE missing from L2, BDE (and ADE) would be
+  // pruned from C3.
+  const std::vector<Itemset> l2 = {{0, 1}, {0, 2}, {0, 3}, {0, 4},
+                                   {1, 2}, {1, 3}, {1, 4}};  // no {3,4}
+  ItemsetSet frequent(l2.begin(), l2.end());
+  std::vector<Itemset> candidates = {{0, 1, 2}, {0, 3, 4}, {1, 3, 4}};
+  const std::vector<Itemset> kept =
+      prune_candidates(std::move(candidates), frequent);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0], (Itemset{0, 1, 2}));
+}
+
+TEST(PruneCandidates, KeepsAllWhenAllSubsetsFrequent) {
+  const std::vector<Itemset> l2 = {{0, 1}, {0, 2}, {1, 2}};
+  ItemsetSet frequent(l2.begin(), l2.end());
+  std::vector<Itemset> candidates = {{0, 1, 2}};
+  EXPECT_EQ(prune_candidates(std::move(candidates), frequent).size(), 1u);
+}
+
+TEST(GenerateCandidates, PruneToggle) {
+  const std::vector<Itemset> l2 = {{0, 1}, {0, 2}, {0, 3},
+                                   {1, 2}};  // {1,3} and {2,3} missing
+  const std::vector<Itemset> unpruned = generate_candidates(l2, false);
+  const std::vector<Itemset> pruned = generate_candidates(l2, true);
+  // Join gives {0,1,2}, {0,1,3}, {0,2,3}; pruning kills the last two
+  // (missing subsets {1,3} / {2,3}).
+  EXPECT_EQ(unpruned.size(), 3u);
+  ASSERT_EQ(pruned.size(), 1u);
+  EXPECT_EQ(pruned[0], (Itemset{0, 1, 2}));
+}
+
+TEST(GenerateCandidates, PruneSkippedForL1Join) {
+  // Joining 1-itemsets yields 2-candidates whose 1-subsets are trivially
+  // the inputs; prune must not be attempted on a sub-2 level.
+  const std::vector<Itemset> l1 = {{1}, {2}};
+  EXPECT_EQ(generate_candidates(l1, true).size(), 1u);
+}
+
+TEST(ItemsetHash, DistinctSetsUsuallyDiffer) {
+  ItemsetHash hash;
+  EXPECT_NE(hash({1, 2, 3}), hash({1, 2, 4}));
+  EXPECT_NE(hash({1}), hash({2}));
+  EXPECT_EQ(hash({5, 9}), hash({5, 9}));
+}
+
+TEST(CandidateGen, EveryCandidateSortedAndUnique) {
+  std::vector<Itemset> level;
+  for (Item a = 0; a < 8; ++a) {
+    for (Item b = a + 1; b < 8; ++b) level.push_back({a, b});
+  }
+  const std::vector<Itemset> candidates = generate_candidates(level, true);
+  for (const Itemset& candidate : candidates) {
+    EXPECT_TRUE(is_sorted_itemset(candidate));
+    EXPECT_EQ(candidate.size(), 3u);
+  }
+  std::vector<Itemset> copy = candidates;
+  std::sort(copy.begin(), copy.end(), lex_less);
+  EXPECT_EQ(std::unique(copy.begin(), copy.end()), copy.end());
+  // Complete graph on 8 items: all C(8,3) = 56 triples survive pruning.
+  EXPECT_EQ(candidates.size(), 56u);
+}
+
+}  // namespace
+}  // namespace eclat

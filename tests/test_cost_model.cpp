@@ -1,0 +1,103 @@
+// Property tests for the virtual-time cost model: the simulation's
+// claims (who pays what, and how costs move with inputs) must hold for
+// every reasonable parameterization, not just the defaults.
+#include <gtest/gtest.h>
+
+#include "mc/cost_model.hpp"
+#include "mc/topology.hpp"
+
+namespace eclat::mc {
+namespace {
+
+class CostModelSweep : public ::testing::TestWithParam<double> {
+ protected:
+  CostModel model() const {
+    CostModel cost;
+    cost.link_bandwidth = 10.0e6 * GetParam();
+    cost.aggregate_bandwidth = 11.0e6 * GetParam();
+    cost.disk_bandwidth = 4.0e6 * GetParam();
+    return cost;
+  }
+};
+
+TEST_P(CostModelSweep, MessageTimeMonotoneInBytes) {
+  const CostModel cost = model();
+  double previous = 0.0;
+  for (std::size_t bytes : {0u, 1u, 100u, 10000u, 1000000u}) {
+    const double time = cost.message_time(bytes);
+    EXPECT_GE(time, previous);
+    EXPECT_GE(time, cost.mc_latency);  // latency is the floor
+    previous = time;
+  }
+}
+
+TEST_P(CostModelSweep, WriteDoublingExactlyDoublesTransfer) {
+  CostModel doubled = model();
+  doubled.write_doubling = true;
+  CostModel single = model();
+  single.write_doubling = false;
+  const std::size_t bytes = 123456;
+  EXPECT_NEAR(doubled.message_time(bytes) - doubled.mc_latency,
+              2.0 * (single.message_time(bytes) - single.mc_latency),
+              1e-12);
+}
+
+TEST_P(CostModelSweep, BarrierTimeMonotoneInParticipants) {
+  const CostModel cost = model();
+  double previous = -1.0;
+  for (std::size_t total : {1u, 2u, 3u, 4u, 8u, 16u, 32u, 33u}) {
+    const double time = cost.barrier_time(total);
+    EXPECT_GE(time, previous);
+    previous = time;
+  }
+}
+
+TEST_P(CostModelSweep, DiskTimeMonotoneInBytesAndScanners) {
+  const CostModel cost = model();
+  EXPECT_LT(cost.disk_time(1000, 1), cost.disk_time(100000, 1));
+  for (std::size_t scanners = 1; scanners < 8; ++scanners) {
+    EXPECT_LE(cost.disk_time(50000, scanners),
+              cost.disk_time(50000, scanners + 1));
+  }
+}
+
+TEST_P(CostModelSweep, ContentionAboveOneDegradesAggregateThroughput) {
+  CostModel cost = model();
+  cost.disk_contention = 1.5;
+  // Aggregate time for n scanners each reading B bytes, vs one scanner
+  // reading n*B: with contention > 1 the split is strictly worse.
+  const std::size_t bytes = 600000;
+  for (std::size_t n : {2u, 4u, 8u}) {
+    const double split = cost.disk_time(bytes / n, n);
+    const double solo = cost.disk_time(bytes, 1);
+    EXPECT_GT(split, solo / static_cast<double>(n));
+  }
+}
+
+TEST_P(CostModelSweep, MemcpyCheaperThanNetwork) {
+  const CostModel cost = model();
+  const std::size_t bytes = 1 << 20;
+  EXPECT_LT(cost.memcpy_time(bytes), cost.message_time(bytes));
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, CostModelSweep,
+                         ::testing::Values(0.25, 1.0, 4.0));
+
+TEST(TopologySweep, HostMappingIsPartition) {
+  for (std::size_t hosts : {1u, 2u, 3u, 8u}) {
+    for (std::size_t procs : {1u, 2u, 4u, 5u}) {
+      const Topology topology{hosts, procs};
+      std::vector<std::size_t> per_host(hosts, 0);
+      for (std::size_t p = 0; p < topology.total(); ++p) {
+        const std::size_t h = topology.host_of(p);
+        ASSERT_LT(h, hosts);
+        ++per_host[h];
+        EXPECT_EQ(topology.slot_of(p), p % procs);
+      }
+      for (std::size_t count : per_host) EXPECT_EQ(count, procs);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eclat::mc

@@ -1,0 +1,108 @@
+#include "parallel/count_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apriori/apriori.hpp"
+#include "test_util.hpp"
+
+namespace eclat::par {
+namespace {
+
+using testutil::handmade_db;
+using testutil::same_itemsets;
+using testutil::small_quest_db;
+
+TEST(CountDistribution, SingleProcessorMatchesSequentialApriori) {
+  const HorizontalDatabase db = small_quest_db();
+  mc::Cluster cluster(mc::Topology{1, 1});
+  CountDistributionConfig config;
+  config.minsup = 5;
+  const ParallelOutput output = count_distribution(cluster, db, config);
+
+  AprioriConfig sequential;
+  sequential.minsup = 5;
+  EXPECT_TRUE(same_itemsets(output.result, apriori(db, sequential)));
+}
+
+class CountDistributionTopology
+    : public ::testing::TestWithParam<mc::Topology> {};
+
+TEST_P(CountDistributionTopology, ResultIndependentOfTopology) {
+  const HorizontalDatabase db = small_quest_db(400, 30, 17);
+  AprioriConfig sequential;
+  sequential.minsup = 6;
+  const MiningResult reference = apriori(db, sequential);
+
+  mc::Cluster cluster(GetParam());
+  CountDistributionConfig config;
+  config.minsup = 6;
+  const ParallelOutput output = count_distribution(cluster, db, config);
+  EXPECT_TRUE(same_itemsets(output.result, reference))
+      << GetParam().label();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, CountDistributionTopology,
+    ::testing::Values(mc::Topology{1, 1}, mc::Topology{1, 2},
+                      mc::Topology{2, 1}, mc::Topology{2, 2},
+                      mc::Topology{4, 2}, mc::Topology{2, 4},
+                      mc::Topology{8, 1}),
+    [](const auto& info) {
+      return "H" + std::to_string(info.param.hosts) + "P" +
+             std::to_string(info.param.procs_per_host);
+    });
+
+TEST(CountDistribution, ComputationBalancingSameAnswer) {
+  // CCPD's third optimization ([16]): strided candidate generation plus
+  // an exchange must assemble the identical Ck on every processor.
+  const HorizontalDatabase db = small_quest_db(400, 30, 17);
+  AprioriConfig sequential;
+  sequential.minsup = 5;
+  const MiningResult reference = apriori(db, sequential);
+
+  for (const mc::Topology topology :
+       {mc::Topology{1, 1}, mc::Topology{2, 2}, mc::Topology{4, 2}}) {
+    mc::Cluster cluster(topology);
+    CountDistributionConfig config;
+    config.minsup = 5;
+    config.computation_balancing = true;
+    const ParallelOutput output = count_distribution(cluster, db, config);
+    EXPECT_TRUE(same_itemsets(output.result, reference))
+        << topology.label();
+  }
+}
+
+TEST(CountDistribution, ChargesTimeAndTraffic) {
+  const HorizontalDatabase db = small_quest_db();
+  mc::Cluster cluster(mc::Topology{2, 2});
+  CountDistributionConfig config;
+  config.minsup = 5;
+  const ParallelOutput output = count_distribution(cluster, db, config);
+  EXPECT_GT(output.total_seconds, 0.0);
+}
+
+TEST(CountDistribution, HandlesHighSupportGracefully) {
+  const HorizontalDatabase db = handmade_db();
+  mc::Cluster cluster(mc::Topology{2, 2});
+  CountDistributionConfig config;
+  config.minsup = 1000;  // nothing frequent
+  const ParallelOutput output = count_distribution(cluster, db, config);
+  EXPECT_TRUE(output.result.itemsets.empty());
+}
+
+TEST(CountDistribution, MoreProcessorsMeansMoreSynchronizationTraffic) {
+  const HorizontalDatabase db = small_quest_db();
+  CountDistributionConfig config;
+  config.minsup = 5;
+
+  mc::Cluster small(mc::Topology{2, 1});
+  const auto few = count_distribution(small, db, config);
+  mc::Cluster large(mc::Topology{8, 1});
+  const auto many = count_distribution(large, db, config);
+  // Per-iteration reductions involve every processor, so the makespan's
+  // synchronization share grows with T even though compute shrinks.
+  EXPECT_TRUE(same_itemsets(few.result, many.result));
+}
+
+}  // namespace
+}  // namespace eclat::par

@@ -1,0 +1,72 @@
+#include "parallel/data_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apriori/apriori.hpp"
+#include "parallel/count_distribution.hpp"
+#include "test_util.hpp"
+
+namespace eclat::par {
+namespace {
+
+using testutil::same_itemsets;
+using testutil::small_quest_db;
+
+TEST(DataDistribution, SingleProcessorMatchesApriori) {
+  const HorizontalDatabase db = small_quest_db();
+  mc::Cluster cluster(mc::Topology{1, 1});
+  DataDistributionConfig config;
+  config.minsup = 5;
+  const ParallelOutput output = data_distribution(cluster, db, config);
+
+  AprioriConfig sequential;
+  sequential.minsup = 5;
+  EXPECT_TRUE(same_itemsets(output.result, apriori(db, sequential)));
+}
+
+class DataDistributionTopology
+    : public ::testing::TestWithParam<mc::Topology> {};
+
+TEST_P(DataDistributionTopology, ResultIndependentOfTopology) {
+  const HorizontalDatabase db = small_quest_db(400, 30, 17);
+  AprioriConfig sequential;
+  sequential.minsup = 5;
+  const MiningResult reference = apriori(db, sequential);
+
+  mc::Cluster cluster(GetParam());
+  DataDistributionConfig config;
+  config.minsup = 5;
+  const ParallelOutput output = data_distribution(cluster, db, config);
+  EXPECT_TRUE(same_itemsets(output.result, reference)) << GetParam().label();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, DataDistributionTopology,
+    ::testing::Values(mc::Topology{1, 1}, mc::Topology{2, 1},
+                      mc::Topology{2, 2}),
+    [](const auto& info) {
+      return "H" + std::to_string(info.param.hosts) + "P" +
+             std::to_string(info.param.procs_per_host);
+    });
+
+TEST(DataDistribution, PaysMoreCommunicationThanCountDistribution) {
+  // The paper's §3.1 point: DD ships the whole database around every
+  // iteration, CD only ships counts.
+  const HorizontalDatabase db = small_quest_db(600, 30, 5);
+
+  mc::Cluster dd_cluster(mc::Topology{4, 1});
+  DataDistributionConfig dd_config;
+  dd_config.minsup = 5;
+  const ParallelOutput dd = data_distribution(dd_cluster, db, dd_config);
+
+  mc::Cluster cd_cluster(mc::Topology{4, 1});
+  CountDistributionConfig cd_config;
+  cd_config.minsup = 5;
+  const ParallelOutput cd = count_distribution(cd_cluster, db, cd_config);
+
+  EXPECT_TRUE(same_itemsets(dd.result, cd.result));
+  EXPECT_GT(dd.mc_bytes, cd.mc_bytes);
+}
+
+}  // namespace
+}  // namespace eclat::par

@@ -1,0 +1,168 @@
+#include "eclat/eclat_seq.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apriori/apriori.hpp"
+#include "eclat/compute_frequent.hpp"
+#include "test_util.hpp"
+
+namespace eclat {
+namespace {
+
+using testutil::brute_force_mine;
+using testutil::handmade_db;
+using testutil::same_itemsets;
+using testutil::small_quest_db;
+
+TEST(ComputeFrequent, MinesOneClassExhaustively) {
+  // Class [0] with members 1, 2, 3; all tid-lists identical so every
+  // superset is frequent too.
+  const TidList tids = {0, 1, 2, 3, 4};
+  std::vector<Atom> atoms = {
+      {{0, 1}, tids}, {{0, 2}, tids}, {{0, 3}, tids}};
+  std::vector<FrequentItemset> out;
+  std::vector<std::size_t> histogram;
+  compute_frequent(atoms, 2, IntersectKernel::kMergeShortCircuit, out,
+                   histogram);
+  // Expected: {0,1,2}, {0,1,3}, {0,2,3}, {0,1,2,3}.
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(histogram[3], 3u);
+  EXPECT_EQ(histogram[4], 1u);
+  for (const FrequentItemset& f : out) EXPECT_EQ(f.support, 5u);
+}
+
+TEST(ComputeFrequent, RespectsMinimumSupport) {
+  std::vector<Atom> atoms = {
+      {{0, 1}, {0, 1, 2}},
+      {{0, 2}, {2, 3, 4}},
+  };
+  std::vector<FrequentItemset> out;
+  std::vector<std::size_t> histogram;
+  compute_frequent(atoms, 2, IntersectKernel::kMergeShortCircuit, out,
+                   histogram);
+  EXPECT_TRUE(out.empty());  // intersection {2} has support 1 < 2
+}
+
+TEST(ComputeFrequent, SingletonClassYieldsNothing) {
+  std::vector<Atom> atoms = {{{0, 1}, {0, 1, 2}}};
+  std::vector<FrequentItemset> out;
+  std::vector<std::size_t> histogram;
+  compute_frequent(atoms, 1, IntersectKernel::kMergeShortCircuit, out,
+                   histogram);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ComputeFrequent, StatsTrackShortCircuits) {
+  std::vector<Atom> atoms = {
+      {{0, 1}, {0, 2, 4, 6}},
+      {{0, 2}, {1, 3, 5, 7}},  // disjoint: must short-circuit
+      {{0, 3}, {0, 2, 4, 6}},
+  };
+  IntersectStats stats;
+  std::vector<FrequentItemset> out;
+  std::vector<std::size_t> histogram;
+  compute_frequent(atoms, 3, IntersectKernel::kMergeShortCircuit, out,
+                   histogram, &stats);
+  EXPECT_GT(stats.intersections, 0u);
+  EXPECT_GT(stats.short_circuited, 0u);
+}
+
+TEST(EclatSeq, HandmadeDatabaseKnownSupports) {
+  EclatConfig config;
+  config.minsup = 4;
+  const MiningResult result = eclat_sequential(handmade_db(), config);
+  const auto find = [&](const Itemset& items) -> Count {
+    for (const FrequentItemset& f : result.itemsets) {
+      if (f.items == items) return f.support;
+    }
+    return 0;
+  };
+  EXPECT_EQ(find({0, 1}), 6u);
+  EXPECT_EQ(find({0, 1, 2}), 4u);
+  EXPECT_EQ(find({0, 3}), 4u);
+}
+
+TEST(EclatSeq, MatchesBruteForceAcrossSupports) {
+  const HorizontalDatabase db = small_quest_db();
+  for (Count minsup : {3u, 5u, 10u, 30u}) {
+    EclatConfig config;
+    config.minsup = minsup;
+    const MiningResult mined = eclat_sequential(db, config);
+    const MiningResult reference = brute_force_mine(db, minsup);
+    EXPECT_TRUE(same_itemsets(mined, reference)) << "minsup=" << minsup;
+  }
+}
+
+TEST(EclatSeq, MatchesAprioriExactly) {
+  const HorizontalDatabase db = small_quest_db(500, 30, 9);
+  for (Count minsup : {4u, 8u, 20u}) {
+    EclatConfig eclat_config;
+    eclat_config.minsup = minsup;
+    AprioriConfig apriori_config;
+    apriori_config.minsup = minsup;
+    EXPECT_TRUE(same_itemsets(eclat_sequential(db, eclat_config),
+                              apriori(db, apriori_config)))
+        << "minsup=" << minsup;
+  }
+}
+
+TEST(EclatSeq, AllKernelsAgree) {
+  const HorizontalDatabase db = small_quest_db();
+  MiningResult results[3];
+  const IntersectKernel kernels[] = {IntersectKernel::kMerge,
+                                     IntersectKernel::kMergeShortCircuit,
+                                     IntersectKernel::kGallop};
+  for (int i = 0; i < 3; ++i) {
+    EclatConfig config;
+    config.minsup = 5;
+    config.kernel = kernels[i];
+    results[i] = eclat_sequential(db, config);
+  }
+  EXPECT_TRUE(same_itemsets(results[0], results[1]));
+  EXPECT_TRUE(same_itemsets(results[0], results[2]));
+}
+
+TEST(EclatSeq, PaperModeSkipsSingletons) {
+  EclatConfig config;
+  config.minsup = 4;
+  config.include_singletons = false;
+  const MiningResult result = eclat_sequential(handmade_db(), config);
+  EXPECT_EQ(result.count_of_size(1), 0u);
+  EXPECT_GT(result.count_of_size(2), 0u);
+}
+
+TEST(EclatSeq, TwoHorizontalScansOnly) {
+  EclatConfig config;
+  config.minsup = 4;
+  const MiningResult result = eclat_sequential(handmade_db(), config);
+  // The paper's claim: L2 counting scan + transformation scan. (The third
+  // scan of the parallel algorithm reads the *vertical* data from local
+  // disk; in memory it is the mining pass itself.)
+  EXPECT_EQ(result.database_scans, 2u);
+}
+
+TEST(EclatSeq, EmptyAndDegenerateDatabases) {
+  EclatConfig config;
+  config.minsup = 1;
+  EXPECT_TRUE(eclat_sequential(HorizontalDatabase{}, config)
+                  .itemsets.empty());
+
+  // Single transaction, single item.
+  std::vector<Transaction> one = {{0, {0}}};
+  const HorizontalDatabase db(std::move(one), 1);
+  const MiningResult result = eclat_sequential(db, config);
+  ASSERT_EQ(result.itemsets.size(), 1u);
+  EXPECT_EQ(result.itemsets[0].items, (Itemset{0}));
+}
+
+TEST(EclatSeq, IntersectStatsPopulated) {
+  IntersectStats stats;
+  EclatConfig config;
+  config.minsup = 4;
+  eclat_sequential(handmade_db(), config, &stats);
+  EXPECT_GT(stats.intersections, 0u);
+  EXPECT_GT(stats.tids_scanned, 0u);
+}
+
+}  // namespace
+}  // namespace eclat

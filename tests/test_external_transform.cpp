@@ -1,0 +1,150 @@
+#include "eclat/external_transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.hpp"
+
+namespace eclat {
+namespace {
+
+using testutil::small_quest_db;
+
+struct Prepared {
+  HorizontalDatabase db;
+  std::vector<PairKey> pairs;
+  std::vector<Count> counts;
+};
+
+Prepared prepare(Count minsup = 5) {
+  Prepared p{small_quest_db(), {}, {}};
+  TriangleCounter counter(p.db.num_items());
+  counter.count(p.db.transactions());
+  p.pairs = counter.frequent_pairs(minsup);
+  for (PairKey key : p.pairs) {
+    p.counts.push_back(counter.get(pair_first(key), pair_second(key)));
+  }
+  return p;
+}
+
+TEST(ExternalTransform, RoundTripMatchesInMemoryInversion) {
+  const Prepared p = prepare();
+  std::stringstream stream;
+  external_transform(p.db.transactions(), p.pairs, p.counts, stream);
+  const auto lists = read_vertical(stream);
+
+  const auto reference = invert_pairs(p.db.transactions(), p.pairs);
+  ASSERT_EQ(lists.size(), p.pairs.size());
+  for (std::size_t i = 0; i < lists.size(); ++i) {
+    EXPECT_EQ(lists[i].first, p.pairs[i]);  // written in pair order
+    EXPECT_EQ(lists[i].second, reference.at(p.pairs[i]));
+  }
+}
+
+class BudgetSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BudgetSweep, AnyBudgetGivesIdenticalOutput) {
+  const Prepared p = prepare();
+  std::stringstream reference_stream;
+  external_transform(p.db.transactions(), p.pairs, p.counts,
+                     reference_stream);
+  const std::string reference = reference_stream.str();
+
+  ExternalTransformConfig config;
+  config.memory_budget = GetParam();
+  std::stringstream stream;
+  ExternalTransformStats stats = external_transform(
+      p.db.transactions(), p.pairs, p.counts, stream, config);
+  EXPECT_EQ(stream.str(), reference) << "budget=" << GetParam();
+  EXPECT_GE(stats.passes, 1u);
+  EXPECT_EQ(stats.pairs_written, p.pairs.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BudgetSweep,
+                         ::testing::Values(std::size_t{1},
+                                           std::size_t{64},
+                                           std::size_t{1} << 10,
+                                           std::size_t{16} << 10,
+                                           std::size_t{64} << 20));
+
+TEST(ExternalTransform, SmallBudgetMeansMorePassesLessMemory) {
+  const Prepared p = prepare();
+
+  ExternalTransformConfig tight;
+  tight.memory_budget = 256;
+  std::stringstream s1;
+  const ExternalTransformStats small_stats = external_transform(
+      p.db.transactions(), p.pairs, p.counts, s1, tight);
+
+  ExternalTransformConfig roomy;
+  roomy.memory_budget = 64 << 20;
+  std::stringstream s2;
+  const ExternalTransformStats big_stats = external_transform(
+      p.db.transactions(), p.pairs, p.counts, s2, roomy);
+
+  EXPECT_GT(small_stats.passes, big_stats.passes);
+  EXPECT_LT(small_stats.peak_memory_bytes, big_stats.peak_memory_bytes);
+  EXPECT_EQ(big_stats.passes, 1u);
+}
+
+TEST(ExternalTransform, BudgetRespectedUnlessSingleListExceedsIt) {
+  const Prepared p = prepare();
+  std::size_t largest_list_bytes = 0;
+  for (Count c : p.counts) {
+    largest_list_bytes =
+        std::max(largest_list_bytes, static_cast<std::size_t>(c) *
+                                         sizeof(Tid));
+  }
+  ExternalTransformConfig config;
+  config.memory_budget = 512;
+  std::stringstream stream;
+  const ExternalTransformStats stats = external_transform(
+      p.db.transactions(), p.pairs, p.counts, stream, config);
+  EXPECT_LE(stats.peak_memory_bytes,
+            std::max(config.memory_budget, largest_list_bytes));
+}
+
+TEST(ExternalTransform, TidsWrittenEqualsTotalSupport) {
+  const Prepared p = prepare();
+  Count total = 0;
+  for (Count c : p.counts) total += c;
+  std::stringstream stream;
+  const ExternalTransformStats stats =
+      external_transform(p.db.transactions(), p.pairs, p.counts, stream);
+  EXPECT_EQ(stats.tids_written, total);
+}
+
+TEST(ExternalTransform, RejectsMismatchedInputs) {
+  const Prepared p = prepare();
+  std::vector<Count> wrong(p.counts.begin(), p.counts.end() - 1);
+  std::stringstream stream;
+  EXPECT_THROW(
+      external_transform(p.db.transactions(), p.pairs, wrong, stream),
+      std::invalid_argument);
+}
+
+TEST(ExternalTransform, ReaderRejectsGarbageAndTruncation) {
+  std::stringstream garbage("definitely not a vertical database");
+  EXPECT_THROW(read_vertical(garbage), std::runtime_error);
+
+  const Prepared p = prepare();
+  std::stringstream stream;
+  external_transform(p.db.transactions(), p.pairs, p.counts, stream);
+  std::string bytes = stream.str();
+  bytes.resize(bytes.size() * 2 / 3);
+  std::stringstream truncated(bytes);
+  EXPECT_THROW(read_vertical(truncated), std::runtime_error);
+}
+
+TEST(ExternalTransform, EmptyPairSetWritesEmptyFile) {
+  const Prepared p = prepare();
+  std::stringstream stream;
+  const ExternalTransformStats stats = external_transform(
+      p.db.transactions(), {}, {}, stream);
+  EXPECT_EQ(stats.pairs_written, 0u);
+  EXPECT_TRUE(read_vertical(stream).empty());
+}
+
+}  // namespace
+}  // namespace eclat

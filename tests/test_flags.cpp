@@ -1,0 +1,89 @@
+#include "common/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.hpp"
+
+namespace eclat {
+namespace {
+
+Flags parse(std::vector<std::string> args) {
+  std::vector<char*> argv = {const_cast<char*>("prog")};
+  for (std::string& arg : args) argv.push_back(arg.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsSyntax) {
+  const Flags flags = parse({"--name=value", "--count=42"});
+  EXPECT_EQ(flags.get("name", ""), "value");
+  EXPECT_EQ(flags.get_int("count", 0), 42);
+}
+
+TEST(Flags, SpaceSyntax) {
+  const Flags flags = parse({"--name", "value"});
+  EXPECT_EQ(flags.get("name", ""), "value");
+}
+
+TEST(Flags, BareFlagIsTrue) {
+  const Flags flags = parse({"--verbose"});
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_TRUE(flags.has("verbose"));
+  EXPECT_FALSE(flags.has("quiet"));
+}
+
+TEST(Flags, BoolFalseSpellings) {
+  EXPECT_FALSE(parse({"--x=false"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x=0"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x=no"}).get_bool("x", true));
+  EXPECT_TRUE(parse({"--x=yes"}).get_bool("x", false));
+}
+
+TEST(Flags, Doubles) {
+  const Flags flags = parse({"--support=0.001"});
+  EXPECT_DOUBLE_EQ(flags.get_double("support", 1.0), 0.001);
+  EXPECT_DOUBLE_EQ(flags.get_double("missing", 2.5), 2.5);
+}
+
+TEST(Flags, PositionalArguments) {
+  const Flags flags = parse({"input.txt", "--out=x", "second"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+  EXPECT_EQ(flags.positional()[1], "second");
+}
+
+TEST(Flags, FallbacksWhenMissing) {
+  const Flags flags = parse({});
+  EXPECT_EQ(flags.get("a", "dflt"), "dflt");
+  EXPECT_EQ(flags.get_int("b", -7), -7);
+  EXPECT_FALSE(flags.get_bool("c", false));
+}
+
+TEST(Flags, FlagFollowedByFlagIsBoolean) {
+  const Flags flags = parse({"--verbose", "--out=x"});
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_EQ(flags.get("out", ""), "x");
+}
+
+TEST(Clock, MonotonicWallClock) {
+  const std::int64_t a = wall_ns();
+  const std::int64_t b = wall_ns();
+  EXPECT_GE(b, a);
+}
+
+TEST(Clock, ThreadCpuAdvancesUnderWork) {
+  CpuStopwatch watch;
+  volatile double sink = 0;
+  for (int i = 0; i < 1000000; ++i) sink = sink + 1.0;
+  EXPECT_GT(watch.elapsed_ns(), 0);
+}
+
+TEST(Clock, WallStopwatchSeconds) {
+  WallStopwatch watch;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GE(watch.elapsed_seconds(), 0.0);
+  EXPECT_LT(watch.elapsed_seconds(), 10.0);
+}
+
+}  // namespace
+}  // namespace eclat

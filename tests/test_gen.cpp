@@ -1,0 +1,170 @@
+#include "gen/quest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace eclat::gen {
+namespace {
+
+QuestConfig small_config() {
+  QuestConfig config;
+  config.num_transactions = 2000;
+  config.avg_transaction_length = 10.0;
+  config.avg_pattern_length = 4.0;
+  config.num_items = 100;
+  config.num_patterns = 50;
+  config.seed = 7;
+  return config;
+}
+
+TEST(QuestGenerator, ProducesRequestedTransactionCount) {
+  const HorizontalDatabase db = QuestGenerator(small_config()).generate();
+  EXPECT_EQ(db.size(), 2000u);
+  EXPECT_EQ(db.num_items(), 100u);
+}
+
+TEST(QuestGenerator, TransactionsAreValidItemsets) {
+  const HorizontalDatabase db = QuestGenerator(small_config()).generate();
+  for (const Transaction& t : db.transactions()) {
+    EXPECT_FALSE(t.items.empty());
+    EXPECT_TRUE(is_sorted_itemset(t.items));
+    for (Item item : t.items) EXPECT_LT(item, 100u);
+  }
+}
+
+TEST(QuestGenerator, TidsAreSequential) {
+  const HorizontalDatabase db = QuestGenerator(small_config()).generate();
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(db[i].tid, static_cast<Tid>(i));
+  }
+}
+
+TEST(QuestGenerator, AverageLengthNearTarget) {
+  QuestConfig config = small_config();
+  config.num_transactions = 20000;
+  const HorizontalDatabase db = QuestGenerator(config).generate();
+  // Corruption and the overflow rule push the realized mean below the
+  // Poisson budget a bit; accept a generous band around |T| = 10.
+  EXPECT_GT(db.average_transaction_length(), 6.0);
+  EXPECT_LT(db.average_transaction_length(), 13.0);
+}
+
+TEST(QuestGenerator, DeterministicForSameSeed) {
+  const HorizontalDatabase a = QuestGenerator(small_config()).generate();
+  const HorizontalDatabase b = QuestGenerator(small_config()).generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(QuestGenerator, DifferentSeedsProduceDifferentData) {
+  QuestConfig other = small_config();
+  other.seed = 8;
+  const HorizontalDatabase a = QuestGenerator(small_config()).generate();
+  const HorizontalDatabase b = QuestGenerator(other).generate();
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].items != b[i].items) ++differing;
+  }
+  EXPECT_GT(differing, a.size() / 2);
+}
+
+TEST(QuestGenerator, PatternPoolHasRequestedShape) {
+  QuestGenerator generator(small_config());
+  const auto& patterns = generator.patterns();
+  ASSERT_EQ(patterns.size(), 50u);
+  double weight_sum = 0.0;
+  for (const Pattern& pattern : patterns) {
+    EXPECT_FALSE(pattern.items.empty());
+    EXPECT_TRUE(is_sorted_itemset(pattern.items));
+    EXPECT_GE(pattern.corruption, 0.0);
+    EXPECT_LE(pattern.corruption, 1.0);
+    weight_sum += pattern.weight;
+  }
+  EXPECT_NEAR(weight_sum, 1.0, 1e-9);
+}
+
+TEST(QuestGenerator, PatternsShareItemsAcrossNeighbors) {
+  // The correlation machinery must actually reuse items: consecutive
+  // patterns should overlap noticeably more often than chance.
+  QuestGenerator generator(small_config());
+  const auto& patterns = generator.patterns();
+  std::size_t overlapping = 0;
+  for (std::size_t i = 1; i < patterns.size(); ++i) {
+    std::set<Item> previous(patterns[i - 1].items.begin(),
+                            patterns[i - 1].items.end());
+    const bool shares =
+        std::any_of(patterns[i].items.begin(), patterns[i].items.end(),
+                    [&](Item item) { return previous.count(item) != 0; });
+    if (shares) ++overlapping;
+  }
+  EXPECT_GT(overlapping, patterns.size() / 4);
+}
+
+TEST(QuestGenerator, GeneratedDataContainsFrequentPatterns) {
+  // The whole point of the generator: planted patterns show up as
+  // co-occurring items. Take the heaviest pattern and check that its
+  // items co-occur far more often than independent items would.
+  QuestConfig config = small_config();
+  config.num_transactions = 10000;
+  QuestGenerator generator(config);
+  const HorizontalDatabase db = generator.generate();
+
+  const auto& patterns = generator.patterns();
+  const Pattern* heaviest = &patterns[0];
+  for (const Pattern& pattern : patterns) {
+    if (pattern.weight > heaviest->weight) heaviest = &pattern;
+  }
+  std::size_t cooccur = 0;
+  // Use the pattern's two first items as the probe.
+  if (heaviest->items.size() >= 2) {
+    const Item a = heaviest->items[0];
+    const Item b = heaviest->items[1];
+    for (const Transaction& t : db.transactions()) {
+      if (std::binary_search(t.items.begin(), t.items.end(), a) &&
+          std::binary_search(t.items.begin(), t.items.end(), b)) {
+        ++cooccur;
+      }
+    }
+    // Independence would give roughly |D| * (|T|/N)^2 = 10000 * 0.01 = 100.
+    EXPECT_GT(cooccur, 200u);
+  }
+}
+
+TEST(QuestGenerator, RejectsDegenerateConfigs) {
+  QuestConfig config = small_config();
+  config.num_items = 0;
+  EXPECT_THROW(QuestGenerator{config}, std::invalid_argument);
+  config = small_config();
+  config.num_patterns = 0;
+  EXPECT_THROW(QuestGenerator{config}, std::invalid_argument);
+  config = small_config();
+  config.avg_pattern_length = 0.5;
+  EXPECT_THROW(QuestGenerator{config}, std::invalid_argument);
+}
+
+TEST(QuestGenerator, DatabaseNameMatchesPaperConvention) {
+  QuestConfig config;
+  config.avg_transaction_length = 10;
+  config.avg_pattern_length = 6;
+  config.num_transactions = 800'000;
+  EXPECT_EQ(database_name(config), "T10.I6.D800K");
+  config.num_transactions = 6'400'000;
+  EXPECT_EQ(database_name(config), "T10.I6.D6400K");
+  config.num_transactions = 2'000'000;
+  EXPECT_EQ(database_name(config), "T10.I6.D2M");
+  config.num_transactions = 123;
+  EXPECT_EQ(database_name(config), "T10.I6.D123");
+}
+
+TEST(QuestGenerator, T10I6HelperUsesPaperParameters) {
+  const HorizontalDatabase db = t10_i6(1000);
+  EXPECT_EQ(db.size(), 1000u);
+  EXPECT_EQ(db.num_items(), 1000u);
+}
+
+}  // namespace
+}  // namespace eclat::gen

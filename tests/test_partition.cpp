@@ -1,0 +1,125 @@
+#include "partition/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apriori/apriori.hpp"
+#include "test_util.hpp"
+
+namespace eclat {
+namespace {
+
+using testutil::handmade_db;
+using testutil::same_itemsets;
+using testutil::small_quest_db;
+
+TEST(LocalMinsup, ScalesProportionally) {
+  EXPECT_EQ(local_minsup(100, 250, 1000), 25u);
+  EXPECT_EQ(local_minsup(100, 333, 1000), 34u);  // ceil(33.3)
+  EXPECT_EQ(local_minsup(1, 10, 1000), 1u);      // floor at 1
+  EXPECT_EQ(local_minsup(100, 1000, 1000), 100u);
+  EXPECT_EQ(local_minsup(5, 0, 100), 1u);
+}
+
+TEST(Partition, MatchesAprioriOnHandmade) {
+  PartitionConfig config;
+  config.minsup = 4;
+  config.chunks = 3;
+  AprioriConfig reference_config;
+  reference_config.minsup = 4;
+  EXPECT_TRUE(same_itemsets(partition_mine(handmade_db(), config),
+                            apriori(handmade_db(), reference_config)));
+}
+
+class PartitionChunksSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PartitionChunksSweep, AnyChunkCountGivesSameAnswer) {
+  const HorizontalDatabase db = small_quest_db(400, 30, 17);
+  AprioriConfig reference_config;
+  reference_config.minsup = 6;
+  const MiningResult reference = apriori(db, reference_config);
+
+  PartitionConfig config;
+  config.minsup = 6;
+  config.chunks = GetParam();
+  PartitionStats stats;
+  const MiningResult result = partition_mine(db, config, &stats);
+  EXPECT_TRUE(same_itemsets(result, reference)) << "chunks=" << GetParam();
+  EXPECT_EQ(stats.database_scans, 2u);
+  EXPECT_EQ(stats.candidates,
+            result.itemsets.size() + stats.false_positives);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, PartitionChunksSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 16u));
+
+TEST(Partition, SingleChunkHasNoFalsePositives) {
+  const HorizontalDatabase db = small_quest_db();
+  PartitionConfig config;
+  config.minsup = 5;
+  config.chunks = 1;
+  PartitionStats stats;
+  partition_mine(db, config, &stats);
+  // One chunk: the local threshold equals the global one.
+  EXPECT_EQ(stats.false_positives, 0u);
+}
+
+TEST(Partition, MoreChunksMeansMoreCandidates) {
+  // Smaller chunks lower the local thresholds (relatively), admitting more
+  // locally-frequent-only itemsets — the algorithm's known weakness on
+  // skewed data.
+  const HorizontalDatabase db = small_quest_db(600, 30, 5);
+  std::size_t few = 0;
+  std::size_t many = 0;
+  for (const std::size_t chunks : {1u, 12u}) {
+    PartitionConfig config;
+    config.minsup = 8;
+    config.chunks = chunks;
+    PartitionStats stats;
+    partition_mine(db, config, &stats);
+    (chunks == 1 ? few : many) = stats.candidates;
+  }
+  EXPECT_GE(many, few);
+}
+
+TEST(Partition, TwoScansOnly) {
+  PartitionConfig config;
+  config.minsup = 4;
+  const MiningResult result = partition_mine(handmade_db(), config);
+  EXPECT_EQ(result.database_scans, 2u);
+}
+
+TEST(Partition, EmptyDatabase) {
+  PartitionConfig config;
+  config.minsup = 1;
+  EXPECT_TRUE(partition_mine(HorizontalDatabase{}, config).itemsets.empty());
+}
+
+TEST(Partition, LocalFrequencyTheorem) {
+  // Property behind pass 1: every globally frequent itemset is locally
+  // frequent (at the scaled threshold) in at least one chunk.
+  const HorizontalDatabase db = small_quest_db(500, 25, 11);
+  const Count minsup = 10;
+  AprioriConfig reference_config;
+  reference_config.minsup = minsup;
+  const MiningResult reference = apriori(db, reference_config);
+
+  const std::size_t chunks = 5;
+  const std::vector<Block> blocks = db.block_partition(chunks);
+  for (const FrequentItemset& f : reference.itemsets) {
+    bool locally_frequent_somewhere = false;
+    for (const Block& block : blocks) {
+      Count local = 0;
+      for (const Transaction& t : db.view(block)) {
+        if (is_subset(f.items, t.items)) ++local;
+      }
+      if (local >= local_minsup(minsup, block.size(), db.size())) {
+        locally_frequent_somewhere = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(locally_frequent_somewhere) << to_string(f.items);
+  }
+}
+
+}  // namespace
+}  // namespace eclat

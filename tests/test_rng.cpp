@@ -1,0 +1,137 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace eclat {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differ = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.next() != b.next()) ++differ;
+  }
+  EXPECT_GT(differ, 30);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowZeroBoundReturnsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(123);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> buckets(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) ++buckets[rng.below(kBound)];
+  for (int count : buckets) {
+    EXPECT_NEAR(count, kSamples / static_cast<int>(kBound),
+                kSamples / static_cast<int>(kBound) / 5);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 7.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.exponential(2.5);
+  EXPECT_NEAR(sum / kSamples, 2.5, 0.1);
+}
+
+TEST(Rng, PoissonSmallMeanMatches) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(rng.poisson(6.0));
+  }
+  EXPECT_NEAR(sum / kSamples, 6.0, 0.1);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApproximation) {
+  Rng rng(17);
+  double sum = 0.0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(rng.poisson(100.0));
+  }
+  EXPECT_NEAR(sum / kSamples, 100.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng(19);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, NormalMeanAndVariance) {
+  Rng rng(23);
+  constexpr int kSamples = 100000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double variance = sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(variance, 1.0, 0.03);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.split();
+  int differ = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (parent.next() != child.next()) ++differ;
+  }
+  EXPECT_GT(differ, 30);
+}
+
+}  // namespace
+}  // namespace eclat

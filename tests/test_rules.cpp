@@ -1,0 +1,133 @@
+#include "rules/rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apriori/apriori.hpp"
+#include "test_util.hpp"
+
+namespace eclat {
+namespace {
+
+using testutil::handmade_db;
+using testutil::small_quest_db;
+
+MiningResult mined_handmade(Count minsup = 4) {
+  AprioriConfig config;
+  config.minsup = minsup;
+  return apriori(handmade_db(), config);
+}
+
+TEST(SupportIndex, LooksUpFrequentItemsets) {
+  const MiningResult result = mined_handmade();
+  const SupportIndex index(result);
+  EXPECT_EQ(index.support({0}), 7u);
+  EXPECT_EQ(index.support({0, 1}), 6u);
+  EXPECT_EQ(index.support({0, 1, 2}), 4u);
+  EXPECT_EQ(index.support({3, 9}), 0u);  // not frequent
+}
+
+TEST(GenerateRules, ConfidenceIsSupportRatio) {
+  const MiningResult result = mined_handmade();
+  const auto rules =
+      generate_rules(result, handmade_db().size(), RuleConfig{0.0});
+  // Find {0} => {1}: support({0,1}) / support({0}) = 6/7.
+  bool found = false;
+  for (const AssociationRule& rule : rules) {
+    if (rule.antecedent == Itemset{0} && rule.consequent == Itemset{1}) {
+      EXPECT_NEAR(rule.confidence, 6.0 / 7.0, 1e-12);
+      EXPECT_EQ(rule.support, 6u);
+      // lift = conf / (support({1}) / |D|) = (6/7) / (7/10)
+      EXPECT_NEAR(rule.lift, (6.0 / 7.0) / 0.7, 1e-12);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GenerateRules, RespectsMinConfidence) {
+  const MiningResult result = mined_handmade();
+  const auto all = generate_rules(result, 10, RuleConfig{0.0});
+  const auto strict = generate_rules(result, 10, RuleConfig{0.9});
+  EXPECT_LT(strict.size(), all.size());
+  for (const AssociationRule& rule : strict) {
+    EXPECT_GE(rule.confidence, 0.9);
+  }
+}
+
+TEST(GenerateRules, SortedByConfidenceThenSupport) {
+  const MiningResult result = mined_handmade();
+  const auto rules = generate_rules(result, 10, RuleConfig{0.1});
+  for (std::size_t i = 1; i < rules.size(); ++i) {
+    const bool ordered =
+        rules[i - 1].confidence > rules[i].confidence ||
+        (rules[i - 1].confidence == rules[i].confidence &&
+         rules[i - 1].support >= rules[i].support);
+    EXPECT_TRUE(ordered) << i;
+  }
+}
+
+TEST(GenerateRules, AntecedentAndConsequentPartitionTheItemset) {
+  const MiningResult result = mined_handmade();
+  const SupportIndex index(result);
+  const auto rules = generate_rules(result, 10, RuleConfig{0.0});
+  EXPECT_FALSE(rules.empty());
+  for (const AssociationRule& rule : rules) {
+    EXPECT_FALSE(rule.antecedent.empty());
+    EXPECT_FALSE(rule.consequent.empty());
+    Itemset whole;
+    std::merge(rule.antecedent.begin(), rule.antecedent.end(),
+               rule.consequent.begin(), rule.consequent.end(),
+               std::back_inserter(whole));
+    EXPECT_TRUE(is_sorted_itemset(whole));  // disjoint and sorted
+    EXPECT_EQ(index.support(whole), rule.support);
+  }
+}
+
+TEST(GenerateRules, MatchesBruteForceEnumeration) {
+  // Independent reference: enumerate every (antecedent, consequent) split
+  // of every frequent itemset directly.
+  const HorizontalDatabase db = small_quest_db(300, 20, 5);
+  AprioriConfig config;
+  config.minsup = 5;
+  const MiningResult result = apriori(db, config);
+  const SupportIndex index(result);
+  const double min_confidence = 0.6;
+
+  std::size_t expected = 0;
+  for (const FrequentItemset& f : result.itemsets) {
+    const std::size_t n = f.items.size();
+    if (n < 2) continue;
+    for (std::uint32_t mask = 1; mask + 1 < (1u << n); ++mask) {
+      Itemset antecedent;
+      Itemset consequent;
+      for (std::size_t i = 0; i < n; ++i) {
+        ((mask >> i) & 1 ? antecedent : consequent).push_back(f.items[i]);
+      }
+      const double confidence =
+          static_cast<double>(f.support) /
+          static_cast<double>(index.support(antecedent));
+      if (confidence >= min_confidence) ++expected;
+    }
+  }
+
+  const auto rules = generate_rules(result, db.size(),
+                                    RuleConfig{min_confidence});
+  EXPECT_EQ(rules.size(), expected);
+}
+
+TEST(GenerateRules, NoRulesFromSingletonsOnly) {
+  MiningResult result;
+  result.itemsets = {{{0}, 5}, {{1}, 4}};
+  EXPECT_TRUE(generate_rules(result, 10, RuleConfig{0.0}).empty());
+}
+
+TEST(RuleToString, ContainsBothSides) {
+  AssociationRule rule{{1, 2}, {3}, 10, 0.75, 1.5};
+  const std::string text = to_string(rule);
+  EXPECT_NE(text.find("{1 2}"), std::string::npos);
+  EXPECT_NE(text.find("{3}"), std::string::npos);
+  EXPECT_NE(text.find("=>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eclat

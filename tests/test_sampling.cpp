@@ -1,0 +1,179 @@
+#include "sampling/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apriori/apriori.hpp"
+#include "apriori/candidate_gen.hpp"
+#include "rules/rules.hpp"
+#include "test_util.hpp"
+
+namespace eclat::sampling {
+namespace {
+
+using testutil::small_quest_db;
+
+TEST(DrawSample, SizeAndMembership) {
+  const HorizontalDatabase db = small_quest_db(1000, 30, 3);
+  Rng rng(5);
+  const HorizontalDatabase sample = draw_sample(db, 0.2, rng);
+  EXPECT_EQ(sample.size(), 200u);
+  EXPECT_EQ(sample.num_items(), db.num_items());
+  // Tids strictly increase (order preserved) and every transaction is a
+  // copy of the original with that tid.
+  Tid previous = 0;
+  bool first = true;
+  for (const Transaction& t : sample.transactions()) {
+    if (!first) {
+      EXPECT_GT(t.tid, previous);
+    }
+    previous = t.tid;
+    first = false;
+    EXPECT_EQ(db[t.tid].items, t.items);
+  }
+}
+
+TEST(DrawSample, WithoutReplacement) {
+  const HorizontalDatabase db = small_quest_db(500, 20, 1);
+  Rng rng(9);
+  const HorizontalDatabase sample = draw_sample(db, 0.5, rng);
+  std::set<Tid> seen;
+  for (const Transaction& t : sample.transactions()) {
+    EXPECT_TRUE(seen.insert(t.tid).second) << t.tid;
+  }
+}
+
+TEST(DrawSample, FullFractionIsIdentity) {
+  const HorizontalDatabase db = small_quest_db(300, 20, 2);
+  Rng rng(1);
+  const HorizontalDatabase sample = draw_sample(db, 1.0, rng);
+  ASSERT_EQ(sample.size(), db.size());
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(sample[i], db[i]);
+  }
+}
+
+TEST(Compare, PrecisionAndRecall) {
+  MiningResult exact;
+  exact.itemsets = {{{0}, 5}, {{1}, 5}, {{0, 1}, 4}, {{2}, 3}};
+  MiningResult approx;
+  approx.itemsets = {{{0}, 5}, {{1}, 5}, {{3}, 2}};  // one false positive,
+                                                     // two misses
+  const Accuracy accuracy = compare(exact, approx);
+  EXPECT_EQ(accuracy.true_positives, 2u);
+  EXPECT_DOUBLE_EQ(accuracy.precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(accuracy.recall, 2.0 / 4.0);
+}
+
+TEST(NegativeBorder, MinimalNonMembers) {
+  // F = {a}, {b}, {c}, {a,b} over 4 items (d = 3 absent).
+  const std::vector<Itemset> frequent = {{0}, {1}, {2}, {0, 1}};
+  const std::vector<Itemset> border = negative_border(frequent, 4);
+  // Border: {3} (absent singleton); {0,2}, {1,2} (pairs of frequent
+  // singletons not in F); {a,b,c} requires {0,2} and {1,2} in F -> not
+  // generated.
+  std::set<Itemset> border_set(border.begin(), border.end());
+  EXPECT_TRUE(border_set.count({3}));
+  EXPECT_TRUE(border_set.count({0, 2}));
+  EXPECT_TRUE(border_set.count({1, 2}));
+  EXPECT_FALSE(border_set.count({0, 1}));     // member of F
+  EXPECT_FALSE(border_set.count({0, 1, 2}));  // subset {0,2} not in F
+  EXPECT_EQ(border.size(), 3u);
+}
+
+TEST(NegativeBorder, PropertyEveryElementMinimal) {
+  const HorizontalDatabase db = small_quest_db();
+  AprioriConfig config;
+  config.minsup = 5;
+  const MiningResult mined = apriori(db, config);
+  std::vector<Itemset> frequent;
+  for (const FrequentItemset& f : mined.itemsets) {
+    frequent.push_back(f.items);
+  }
+  eclat::ItemsetSet members(frequent.begin(), frequent.end());
+  const std::vector<Itemset> border = negative_border(frequent, db.num_items());
+  for (const Itemset& itemset : border) {
+    EXPECT_EQ(members.count(itemset), 0u);  // not a member
+    // Every proper (size-1) subset is a member.
+    if (itemset.size() < 2) continue;
+    for (std::size_t drop = 0; drop < itemset.size(); ++drop) {
+      Itemset subset;
+      for (std::size_t i = 0; i < itemset.size(); ++i) {
+        if (i != drop) subset.push_back(itemset[i]);
+      }
+      EXPECT_EQ(members.count(subset), 1u)
+          << to_string(itemset) << " missing subset " << to_string(subset);
+    }
+  }
+}
+
+TEST(SampleMine, ReasonableAccuracyOnHalfSample) {
+  const HorizontalDatabase db = small_quest_db(2000, 40, 13);
+  const double support = 0.02;
+  AprioriConfig exact_config;
+  exact_config.minsup = absolute_support(support, db.size());
+  const MiningResult exact = apriori(db, exact_config);
+
+  SampleConfig config;
+  config.sample_fraction = 0.5;
+  config.support_scale = 0.8;
+  const MiningResult approx = sample_mine(db, support, config);
+  const Accuracy accuracy = compare(exact, approx);
+  EXPECT_GT(accuracy.recall, 0.75);
+  EXPECT_GT(accuracy.precision, 0.75);
+  EXPECT_EQ(approx.database_scans, 1u);
+}
+
+TEST(Toivonen, CertifiedRunIsExact) {
+  const HorizontalDatabase db = small_quest_db(1500, 30, 29);
+  const double support = 0.03;
+  SampleConfig config;
+  config.sample_fraction = 0.5;
+  config.support_scale = 0.6;  // generous lowering: certification likely
+  const ToivonenOutcome outcome = toivonen_mine(db, support, config);
+
+  AprioriConfig exact_config;
+  exact_config.minsup = absolute_support(support, db.size());
+  const MiningResult exact = apriori(db, exact_config);
+
+  if (outcome.certified) {
+    const Accuracy accuracy = compare(exact, outcome.result);
+    EXPECT_DOUBLE_EQ(accuracy.precision, 1.0);
+    EXPECT_DOUBLE_EQ(accuracy.recall, 1.0);
+  }
+  // Certified or not, reported supports must be exact for every itemset.
+  eclat::SupportIndex index(exact);
+  for (const FrequentItemset& f : outcome.result.itemsets) {
+    EXPECT_EQ(f.support, index.support(f.items)) << to_string(f.items);
+  }
+  EXPECT_EQ(outcome.database_scans, 2u);
+}
+
+TEST(Toivonen, TinySampleLikelyMisses) {
+  // A 2% sample at an aggressive support scale should usually fail
+  // certification or lose recall — the algorithm must *report* that
+  // honestly rather than silently returning garbage.
+  const HorizontalDatabase db = small_quest_db(2000, 40, 13);
+  SampleConfig config;
+  config.sample_fraction = 0.02;
+  config.support_scale = 1.0;
+  const ToivonenOutcome outcome = toivonen_mine(db, 0.02, config);
+  // All reported itemsets are genuinely frequent (exactly counted).
+  AprioriConfig exact_config;
+  exact_config.minsup = absolute_support(0.02, db.size());
+  const MiningResult exact = apriori(db, exact_config);
+  const Accuracy accuracy = compare(exact, outcome.result);
+  EXPECT_DOUBLE_EQ(accuracy.precision, 1.0);
+}
+
+TEST(Toivonen, EmptyDatabaseCertifiedEmpty) {
+  SampleConfig config;
+  const ToivonenOutcome outcome =
+      toivonen_mine(HorizontalDatabase{}, 0.1, config);
+  EXPECT_TRUE(outcome.certified);
+  EXPECT_TRUE(outcome.result.itemsets.empty());
+}
+
+}  // namespace
+}  // namespace eclat::sampling

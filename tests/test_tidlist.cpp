@@ -1,0 +1,150 @@
+#include "vertical/tidlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/rng.hpp"
+
+namespace eclat {
+namespace {
+
+TEST(TidList, IsValidTidlist) {
+  EXPECT_TRUE(is_valid_tidlist(TidList{}));
+  EXPECT_TRUE(is_valid_tidlist(TidList{5}));
+  EXPECT_TRUE(is_valid_tidlist(TidList{1, 2, 9}));
+  EXPECT_FALSE(is_valid_tidlist(TidList{1, 1}));
+  EXPECT_FALSE(is_valid_tidlist(TidList{2, 1}));
+}
+
+TEST(TidList, IntersectMatchesPaperExample) {
+  // Paper §4.2: T(AB) = {1,5,7,10,50}, T(AC) = {1,4,7,10,11}
+  // => T(ABC) = {1,7,10}.
+  const TidList ab = {1, 5, 7, 10, 50};
+  const TidList ac = {1, 4, 7, 10, 11};
+  EXPECT_EQ(intersect(ab, ac), (TidList{1, 7, 10}));
+}
+
+TEST(TidList, IntersectEdgeCases) {
+  EXPECT_TRUE(intersect(TidList{}, TidList{}).empty());
+  EXPECT_TRUE(intersect(TidList{1, 2}, TidList{}).empty());
+  EXPECT_TRUE(intersect(TidList{1, 3}, TidList{2, 4}).empty());
+  EXPECT_EQ(intersect(TidList{1, 2, 3}, TidList{1, 2, 3}),
+            (TidList{1, 2, 3}));
+}
+
+TEST(TidList, IntersectionSizeAgreesWithIntersect) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    TidList a;
+    TidList b;
+    for (Tid t = 0; t < 300; ++t) {
+      if (rng.uniform() < 0.3) a.push_back(t);
+      if (rng.uniform() < 0.3) b.push_back(t);
+    }
+    EXPECT_EQ(intersection_size(a, b), intersect(a, b).size());
+  }
+}
+
+TEST(TidList, ShortCircuitReturnsExactResultWhenFrequent) {
+  const TidList a = {1, 2, 3, 4, 5, 6};
+  const TidList b = {2, 4, 6, 8};
+  const auto result = intersect_short_circuit(a, b, 2);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, (TidList{2, 4, 6}));
+}
+
+TEST(TidList, ShortCircuitRejectsWhenBoundTooSmall) {
+  const TidList a = {1, 2, 3};
+  const TidList b = {4, 5, 6, 7};
+  // |a| = 3 < minsup = 4: rejected before scanning.
+  EXPECT_FALSE(intersect_short_circuit(a, b, 4).has_value());
+}
+
+TEST(TidList, ShortCircuitRejectsAfterEnoughMismatches) {
+  // Intersection is {100}; with minsup 2 the scan must abort and report
+  // infrequent.
+  const TidList a = {1, 3, 5, 100};
+  const TidList b = {2, 4, 6, 100};
+  EXPECT_FALSE(intersect_short_circuit(a, b, 2).has_value());
+}
+
+TEST(TidList, ShortCircuitBoundaryExactlyMinsup) {
+  const TidList a = {1, 2, 3};
+  const TidList b = {1, 2, 3};
+  const auto result = intersect_short_circuit(a, b, 3);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(TidList, ShortCircuitAgreesWithPlainIntersect) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 100; ++trial) {
+    TidList a;
+    TidList b;
+    for (Tid t = 0; t < 200; ++t) {
+      if (rng.uniform() < 0.4) a.push_back(t);
+      if (rng.uniform() < 0.4) b.push_back(t);
+    }
+    const TidList exact = intersect(a, b);
+    for (Count minsup : {1u, 5u, 20u, 100u}) {
+      const auto fast = intersect_short_circuit(a, b, minsup);
+      if (exact.size() >= minsup) {
+        ASSERT_TRUE(fast.has_value());
+        EXPECT_EQ(*fast, exact);
+      } else {
+        EXPECT_FALSE(fast.has_value());
+      }
+    }
+  }
+}
+
+TEST(TidList, GallopAgreesWithMergeOnSkewedInputs) {
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    TidList small;
+    TidList large;
+    for (Tid t = 0; t < 2000; ++t) {
+      if (rng.uniform() < 0.005) small.push_back(t);
+      if (rng.uniform() < 0.5) large.push_back(t);
+    }
+    EXPECT_EQ(intersect_gallop(small, large), intersect(small, large));
+    EXPECT_EQ(intersect_gallop(large, small), intersect(large, small));
+  }
+}
+
+TEST(TidList, GallopEdgeCases) {
+  EXPECT_TRUE(intersect_gallop(TidList{}, TidList{1, 2}).empty());
+  EXPECT_EQ(intersect_gallop(TidList{5}, TidList{1, 5, 9}), (TidList{5}));
+  EXPECT_TRUE(intersect_gallop(TidList{10}, TidList{1, 2, 3}).empty());
+}
+
+TEST(TidList, DifferenceAndUnion) {
+  const TidList a = {1, 2, 3, 5};
+  const TidList b = {2, 4, 5};
+  EXPECT_EQ(difference(a, b), (TidList{1, 3}));
+  EXPECT_EQ(difference(b, a), (TidList{4}));
+  EXPECT_EQ(unite(a, b), (TidList{1, 2, 3, 4, 5}));
+}
+
+TEST(TidList, IntersectionAlgebraProperties) {
+  // Property sweep: |a ∩ b| + |a \ b| = |a|, and a ∩ b == b ∩ a.
+  Rng rng(4321);
+  for (int trial = 0; trial < 50; ++trial) {
+    TidList a;
+    TidList b;
+    for (Tid t = 0; t < 500; ++t) {
+      if (rng.uniform() < 0.2) a.push_back(t);
+      if (rng.uniform() < 0.6) b.push_back(t);
+    }
+    const TidList ab = intersect(a, b);
+    EXPECT_EQ(ab, intersect(b, a));
+    EXPECT_EQ(ab.size() + difference(a, b).size(), a.size());
+    EXPECT_EQ(unite(a, b).size(), a.size() + b.size() - ab.size());
+    EXPECT_TRUE(is_valid_tidlist(ab));
+  }
+}
+
+}  // namespace
+}  // namespace eclat

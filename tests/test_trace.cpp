@@ -1,0 +1,122 @@
+#include "mc/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mc/cluster.hpp"
+#include "parallel/par_eclat.hpp"
+#include "test_util.hpp"
+
+namespace eclat::mc {
+namespace {
+
+TEST(Trace, RecordsAndSortsByTime) {
+  Trace trace;
+  trace.record(1, 2.0, TraceKind::kDisk, "scan", 100);
+  trace.record(0, 1.0, TraceKind::kCompute, "compute", 500);
+  trace.record(0, 2.0, TraceKind::kBarrier, "barrier");
+  const auto events = trace.sorted();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].time, 1.0);
+  EXPECT_EQ(events[1].processor, 0u);  // equal times: processor order
+  EXPECT_EQ(events[2].processor, 1u);
+}
+
+TEST(Trace, PhaseSpanSumsMatchedPairs) {
+  Trace trace;
+  trace.record(0, 1.0, TraceKind::kPhaseBegin, "work");
+  trace.record(0, 3.0, TraceKind::kPhaseEnd, "work");
+  trace.record(1, 0.0, TraceKind::kPhaseBegin, "work");
+  trace.record(1, 1.5, TraceKind::kPhaseEnd, "work");
+  trace.record(0, 5.0, TraceKind::kPhaseBegin, "work");
+  trace.record(0, 6.0, TraceKind::kPhaseEnd, "work");
+  // p0: (3-1) + (6-5) = 3; p1: 1.5 -> max = 3.
+  EXPECT_DOUBLE_EQ(trace.phase_span("work"), 3.0);
+  EXPECT_DOUBLE_EQ(trace.phase_span("absent"), 0.0);
+}
+
+TEST(Trace, DumpFormats) {
+  Trace trace;
+  trace.record(2, 0.5, TraceKind::kMessage, "tidlists", 4096);
+  std::ostringstream text;
+  trace.dump(text);
+  EXPECT_NE(text.str().find("p2"), std::string::npos);
+  EXPECT_NE(text.str().find("message"), std::string::npos);
+  EXPECT_NE(text.str().find("4096"), std::string::npos);
+
+  std::ostringstream csv;
+  trace.dump_csv(csv);
+  EXPECT_NE(csv.str().find("processor,time,kind,label,detail"),
+            std::string::npos);
+  EXPECT_NE(csv.str().find("2,0.5,message,tidlists,4096"),
+            std::string::npos);
+}
+
+TEST(Trace, ClearResets) {
+  Trace trace;
+  trace.record(0, 0.0, TraceKind::kMark, "x");
+  EXPECT_EQ(trace.size(), 1u);
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(Trace, ClusterEventsAreRecorded) {
+  Trace trace;
+  Cluster cluster(Topology{2, 2});
+  cluster.set_trace(&trace);
+  cluster.run([](Processor& self) {
+    self.phase_begin("demo");
+    self.disk_read(1000);
+    self.compute([] {
+      volatile int sink = 0;
+      for (int i = 0; i < 1000; ++i) sink = sink + i;
+    });
+    self.barrier();
+    self.mark("checkpoint", 7);
+    self.phase_end("demo");
+  });
+  const auto events = trace.sorted();
+  EXPECT_GE(events.size(), 4u * 5u);  // 5 events per processor minimum
+  // Timestamps never decrease per processor.
+  std::vector<double> last(4, -1.0);
+  for (const TraceEvent& event : events) {
+    EXPECT_GE(event.time, last[event.processor]);
+    last[event.processor] = event.time;
+  }
+  EXPECT_GT(trace.phase_span("demo"), 0.0);
+}
+
+TEST(Trace, ParEclatEmitsAllFourPhases) {
+  const HorizontalDatabase db = testutil::small_quest_db();
+  Trace trace;
+  Cluster cluster(Topology{2, 2});
+  cluster.set_trace(&trace);
+  par::ParEclatConfig config;
+  config.minsup = 5;
+  const par::ParallelOutput output = par::par_eclat(cluster, db, config);
+
+  for (const char* phase : {"initialization", "transformation",
+                            "asynchronous", "reduction"}) {
+    EXPECT_GT(trace.phase_span(phase), 0.0) << phase;
+  }
+  // The traced spans must agree with the reported phase durations within
+  // reason (phase_seconds uses max end-times, the trace per-proc spans).
+  EXPECT_LE(trace.phase_span("asynchronous"),
+            output.total_seconds + 1e-9);
+}
+
+TEST(Trace, DetachedClusterRecordsNothing) {
+  Trace trace;
+  Cluster cluster(Topology{1, 2});
+  cluster.set_trace(&trace);
+  cluster.set_trace(nullptr);
+  cluster.run([](Processor& self) {
+    self.disk_read(100);
+    self.barrier();
+  });
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+}  // namespace
+}  // namespace eclat::mc

@@ -1,0 +1,93 @@
+// Shared helpers for the test suite: a brute-force reference miner and
+// canned small databases.
+#pragma once
+
+#include <algorithm>
+#include <map>
+
+#include "common/result.hpp"
+#include "data/horizontal.hpp"
+#include "gen/quest.hpp"
+
+namespace eclat::testutil {
+
+/// Exhaustive reference miner: enumerates every itemset that appears in at
+/// least one transaction (via subset growth) and keeps the frequent ones.
+/// Exponential — use only on small databases.
+inline MiningResult brute_force_mine(const HorizontalDatabase& db,
+                                     Count minsup) {
+  std::map<Itemset, Count> counts;
+  // Level-wise growth restricted to itemsets present in the data keeps the
+  // enumeration tractable.
+  std::vector<Itemset> level;
+  for (Item item = 0; item < db.num_items(); ++item) {
+    Count count = 0;
+    for (const Transaction& t : db.transactions()) {
+      if (std::binary_search(t.items.begin(), t.items.end(), item)) ++count;
+    }
+    if (count >= minsup) {
+      counts[{item}] = count;
+      level.push_back({item});
+    }
+  }
+  while (!level.empty()) {
+    std::map<Itemset, Count> next_counts;
+    for (const Itemset& base : level) {
+      for (Item item = base.back() + 1; item < db.num_items(); ++item) {
+        Itemset candidate = base;
+        candidate.push_back(item);
+        Count count = 0;
+        for (const Transaction& t : db.transactions()) {
+          if (is_subset(candidate, t.items)) ++count;
+        }
+        if (count >= minsup) next_counts[candidate] = count;
+      }
+    }
+    level.clear();
+    for (const auto& [itemset, count] : next_counts) {
+      counts[itemset] = count;
+      level.push_back(itemset);
+    }
+  }
+
+  MiningResult result;
+  for (const auto& [itemset, count] : counts) {
+    result.itemsets.push_back(FrequentItemset{itemset, count});
+  }
+  normalize(result);
+  return result;
+}
+
+/// Small correlated database for cross-validation tests.
+inline HorizontalDatabase small_quest_db(std::size_t transactions = 300,
+                                         Item items = 25,
+                                         std::uint64_t seed = 42) {
+  gen::QuestConfig config;
+  config.num_transactions = transactions;
+  config.num_items = items;
+  config.num_patterns = 8;
+  config.avg_pattern_length = 3;
+  config.avg_transaction_length = 6;
+  config.seed = seed;
+  return gen::QuestGenerator(config).generate();
+}
+
+/// Hand-built database with known frequent itemsets.
+inline HorizontalDatabase handmade_db() {
+  std::vector<Transaction> transactions = {
+      {0, {0, 1, 2, 3}}, {1, {0, 1, 2}}, {2, {0, 1}},    {3, {0, 2, 3}},
+      {4, {1, 2}},       {5, {0, 1, 2}}, {6, {3}},       {7, {0, 1, 3}},
+      {8, {0, 1, 2, 3}}, {9, {2, 3}},
+  };
+  return HorizontalDatabase(std::move(transactions), 4);
+}
+
+inline bool same_itemsets(const MiningResult& a, const MiningResult& b) {
+  if (a.itemsets.size() != b.itemsets.size()) return false;
+  for (std::size_t i = 0; i < a.itemsets.size(); ++i) {
+    if (a.itemsets[i] != b.itemsets[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace eclat::testutil

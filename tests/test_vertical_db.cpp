@@ -1,0 +1,145 @@
+#include "vertical/vertical_db.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/quest.hpp"
+
+namespace eclat {
+namespace {
+
+std::vector<Transaction> sample_transactions() {
+  return {
+      {0, {0, 1, 2}},
+      {1, {1, 2}},
+      {2, {0, 2}},
+      {3, {0, 1, 2, 3}},
+  };
+}
+
+TEST(PairKey, PacksAndUnpacksCanonically) {
+  const PairKey key = make_pair_key(3, 9);
+  EXPECT_EQ(pair_first(key), 3u);
+  EXPECT_EQ(pair_second(key), 9u);
+  EXPECT_EQ(make_pair_key(9, 3), key);  // order-insensitive
+}
+
+TEST(PairKey, OrdersLexicographically) {
+  EXPECT_LT(make_pair_key(1, 2), make_pair_key(1, 3));
+  EXPECT_LT(make_pair_key(1, 9), make_pair_key(2, 3));
+}
+
+TEST(InvertItems, BuildsSortedTidLists) {
+  const auto transactions = sample_transactions();
+  const std::vector<TidList> lists = invert_items(transactions, 4);
+  ASSERT_EQ(lists.size(), 4u);
+  EXPECT_EQ(lists[0], (TidList{0, 2, 3}));
+  EXPECT_EQ(lists[1], (TidList{0, 1, 3}));
+  EXPECT_EQ(lists[2], (TidList{0, 1, 2, 3}));
+  EXPECT_EQ(lists[3], (TidList{3}));
+}
+
+TEST(InvertPairs, BuildsOnlyRequestedPairs) {
+  const auto transactions = sample_transactions();
+  const std::vector<PairKey> pairs = {make_pair_key(0, 1),
+                                      make_pair_key(1, 2)};
+  const auto lists = invert_pairs(transactions, pairs);
+  ASSERT_EQ(lists.size(), 2u);
+  EXPECT_EQ(lists.at(make_pair_key(0, 1)), (TidList{0, 3}));
+  EXPECT_EQ(lists.at(make_pair_key(1, 2)), (TidList{0, 1, 3}));
+}
+
+TEST(InvertPairs, PairTidlistEqualsItemTidlistIntersection) {
+  // Property: for any pair {a,b}, tidlist(ab) == tidlist(a) ∩ tidlist(b).
+  const HorizontalDatabase db = [&] {
+    gen::QuestConfig config;
+    config.num_transactions = 500;
+    config.num_items = 30;
+    config.num_patterns = 10;
+    config.avg_pattern_length = 3;
+    config.avg_transaction_length = 6;
+    return gen::QuestGenerator(config).generate();
+  }();
+  const std::vector<TidList> items =
+      invert_items(db.transactions(), db.num_items());
+  std::vector<PairKey> pairs;
+  for (Item a = 0; a < 10; ++a) {
+    for (Item b = a + 1; b < 10; ++b) pairs.push_back(make_pair_key(a, b));
+  }
+  const auto lists = invert_pairs(db.transactions(), pairs);
+  for (PairKey key : pairs) {
+    EXPECT_EQ(lists.at(key),
+              intersect(items[pair_first(key)], items[pair_second(key)]));
+  }
+}
+
+TEST(TriangleCounter, CountsAllPairsOfEachTransaction) {
+  TriangleCounter counter(4);
+  const auto transactions = sample_transactions();
+  counter.count(transactions);
+  EXPECT_EQ(counter.get(0, 1), 2u);  // tids 0, 3
+  EXPECT_EQ(counter.get(0, 2), 3u);  // tids 0, 2, 3
+  EXPECT_EQ(counter.get(1, 2), 3u);  // tids 0, 1, 3
+  EXPECT_EQ(counter.get(0, 3), 1u);
+  EXPECT_EQ(counter.get(2, 3), 1u);
+  EXPECT_EQ(counter.get(3, 1), 1u);  // arguments commute
+}
+
+TEST(TriangleCounter, IndexingCoversWholeTriangleWithoutCollision) {
+  // Bump each pair exactly once via single-pair transactions and verify
+  // every cell reads back 1 (no aliasing in the triangular indexing).
+  constexpr Item kN = 17;
+  TriangleCounter counter(kN);
+  std::vector<Transaction> transactions;
+  Tid tid = 0;
+  for (Item a = 0; a < kN; ++a) {
+    for (Item b = a + 1; b < kN; ++b) {
+      transactions.push_back({tid++, {a, b}});
+    }
+  }
+  counter.count(transactions);
+  for (Item a = 0; a < kN; ++a) {
+    for (Item b = a + 1; b < kN; ++b) {
+      EXPECT_EQ(counter.get(a, b), 1u) << "pair " << a << "," << b;
+    }
+  }
+}
+
+TEST(TriangleCounter, MergeAccumulatesElementwise) {
+  TriangleCounter a(3);
+  TriangleCounter b(3);
+  std::vector<Transaction> first = {{0, {0, 1}}};
+  std::vector<Transaction> second = {{1, {0, 1}}, {2, {1, 2}}};
+  a.count(first);
+  b.count(second);
+  a.merge(b);
+  EXPECT_EQ(a.get(0, 1), 2u);
+  EXPECT_EQ(a.get(1, 2), 1u);
+  EXPECT_EQ(a.get(0, 2), 0u);
+}
+
+TEST(TriangleCounter, MergeRejectsSizeMismatch) {
+  TriangleCounter a(3);
+  TriangleCounter b(4);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(TriangleCounter, FrequentPairsSortedAndThresholded) {
+  TriangleCounter counter(4);
+  counter.count(sample_transactions());
+  const std::vector<PairKey> frequent = counter.frequent_pairs(2);
+  ASSERT_EQ(frequent.size(), 3u);
+  EXPECT_EQ(frequent[0], make_pair_key(0, 1));
+  EXPECT_EQ(frequent[1], make_pair_key(0, 2));
+  EXPECT_EQ(frequent[2], make_pair_key(1, 2));
+  EXPECT_TRUE(std::is_sorted(frequent.begin(), frequent.end()));
+}
+
+TEST(TriangleCounter, InvalidArgumentsThrow) {
+  TriangleCounter counter(3);
+  EXPECT_THROW(counter.get(1, 1), std::out_of_range);
+  EXPECT_THROW(counter.get(0, 3), std::out_of_range);
+  EXPECT_THROW(TriangleCounter{1}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace eclat

@@ -1,0 +1,102 @@
+#include "parallel/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parallel/parallel_common.hpp"
+#include "vertical/vertical_db.hpp"
+#include "test_util.hpp"
+
+namespace eclat::wire {
+namespace {
+
+TEST(Wire, PodRoundTrip) {
+  Writer writer;
+  writer.put<std::uint32_t>(42);
+  writer.put<std::uint64_t>(1ULL << 40);
+  writer.put<double>(3.25);
+  const mc::Blob blob = writer.take();
+
+  Reader reader(blob);
+  EXPECT_EQ(reader.get<std::uint32_t>(), 42u);
+  EXPECT_EQ(reader.get<std::uint64_t>(), 1ULL << 40);
+  EXPECT_DOUBLE_EQ(reader.get<double>(), 3.25);
+  EXPECT_TRUE(reader.done());
+}
+
+TEST(Wire, VectorRoundTrip) {
+  Writer writer;
+  const std::vector<Tid> tids = {1, 5, 9, 100000};
+  const std::vector<Item> empty;
+  writer.put_vector(tids);
+  writer.put_vector(empty);
+  const mc::Blob blob = writer.take();
+
+  Reader reader(blob);
+  EXPECT_EQ(reader.get_vector<Tid>(), tids);
+  EXPECT_TRUE(reader.get_vector<Item>().empty());
+  EXPECT_TRUE(reader.done());
+}
+
+TEST(Wire, MixedSequenceRoundTrip) {
+  Writer writer;
+  writer.put<eclat::PairKey>(eclat::make_pair_key(3, 7));
+  writer.put_vector(std::vector<Tid>{2, 4});
+  writer.put<Count>(99);
+  const mc::Blob blob = writer.take();
+
+  Reader reader(blob);
+  EXPECT_EQ(reader.get<eclat::PairKey>(), eclat::make_pair_key(3, 7));
+  EXPECT_EQ(reader.get_vector<Tid>(), (std::vector<Tid>{2, 4}));
+  EXPECT_EQ(reader.get<Count>(), 99u);
+}
+
+TEST(Wire, UnderrunThrows) {
+  Writer writer;
+  writer.put<std::uint32_t>(1);
+  const mc::Blob blob = writer.take();
+  Reader reader(blob);
+  EXPECT_THROW(reader.get<std::uint64_t>(), std::runtime_error);
+}
+
+TEST(Wire, VectorUnderrunThrows) {
+  // A length prefix promising more data than present.
+  Writer writer;
+  writer.put<std::uint64_t>(1000);  // claims 1000 elements
+  writer.put<std::uint32_t>(7);     // delivers one
+  const mc::Blob blob = writer.take();
+  Reader reader(blob);
+  EXPECT_THROW(reader.get_vector<std::uint32_t>(), std::runtime_error);
+}
+
+TEST(Wire, TakeResetsWriter) {
+  Writer writer;
+  writer.put<std::uint32_t>(5);
+  EXPECT_EQ(writer.size(), 4u);
+  (void)writer.take();
+  EXPECT_EQ(writer.size(), 0u);
+}
+
+TEST(ParallelCommon, LocalPartitionCoversDatabase) {
+  const HorizontalDatabase db = testutil::small_quest_db(100, 20, 3);
+  const mc::Topology topology{2, 2};
+  std::size_t covered = 0;
+  Tid expected_tid = 0;
+  for (std::size_t p = 0; p < topology.total(); ++p) {
+    const auto span = par::local_partition(db, topology, p);
+    covered += span.size();
+    for (const Transaction& t : span) {
+      EXPECT_EQ(t.tid, expected_tid++);  // contiguous, in order
+    }
+  }
+  EXPECT_EQ(covered, db.size());
+}
+
+TEST(ParallelCommon, PartitionBytesMatchesByteSize) {
+  const HorizontalDatabase db = testutil::small_quest_db(50, 15, 4);
+  const mc::Topology topology{1, 1};
+  EXPECT_EQ(par::partition_bytes(par::local_partition(db, topology, 0)),
+            db.byte_size());
+}
+
+}  // namespace
+}  // namespace eclat::wire
