@@ -1,0 +1,56 @@
+// Debug contracts for invariants that are too expensive — or too
+// embarrassing — to fail silently.
+//
+//   ECLAT_CHECK(cond)    always compiled in; aborts with file:line when the
+//                        condition is false. Use on cold paths and at trust
+//                        boundaries (deserialization, cross-module inputs).
+//   ECLAT_DCHECK(cond)   compiled in for debug builds and whenever
+//                        ECLAT_ENABLE_DCHECKS is defined (the sanitizer
+//                        presets define it); otherwise the condition is
+//                        type-checked but never evaluated. Use on hot paths
+//                        (per-intersection invariants, per-element bounds).
+//   ECLAT_UNREACHABLE(msg)  marks control flow that must not be reached.
+//
+// Failures abort rather than throw: a broken invariant means the process
+// state is untrustworthy, and abort() gives sanitizers/ctest a crisp
+// failure with a stack trace instead of an unwound, half-consistent one.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(ECLAT_ENABLE_DCHECKS) || !defined(NDEBUG)
+#define ECLAT_DCHECKS_ENABLED 1
+#else
+#define ECLAT_DCHECKS_ENABLED 0
+#endif
+
+namespace eclat::check_detail {
+
+[[noreturn]] inline void fail(const char* kind, const char* what,
+                              const char* file, int line) {
+  std::fprintf(stderr, "%s failed: %s\n  at %s:%d\n", kind, what, file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace eclat::check_detail
+
+#define ECLAT_CHECK(cond)                                              \
+  (static_cast<bool>(cond)                                             \
+       ? static_cast<void>(0)                                          \
+       : ::eclat::check_detail::fail("ECLAT_CHECK", #cond, __FILE__,   \
+                                     __LINE__))
+
+#if ECLAT_DCHECKS_ENABLED
+#define ECLAT_DCHECK(cond) ECLAT_CHECK(cond)
+#else
+// Parse and type-check the condition without evaluating it, so DCHECK-only
+// helpers never rot and never trigger unused warnings.
+#define ECLAT_DCHECK(cond) \
+  (true ? static_cast<void>(0) : static_cast<void>(cond))
+#endif
+
+#define ECLAT_UNREACHABLE(msg)                                        \
+  ::eclat::check_detail::fail("ECLAT_UNREACHABLE", msg, __FILE__,     \
+                              __LINE__)

@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/check.hpp"
+
 namespace eclat {
 
 std::vector<PairKey> EquivalenceClass::pair_keys() const {
@@ -46,7 +48,12 @@ std::vector<std::size_t> schedule_greedy_by_weight(
 
   std::vector<std::size_t> load(num_processors, 0);
   std::vector<std::size_t> assignment(weights.size(), 0);
+  std::size_t previous_weight = order.empty() ? 0 : weights[order.front()];
   for (std::size_t index : order) {
+    // LPT placement order must be monotonically non-increasing in weight —
+    // the determinism and balance guarantees both hang on it.
+    ECLAT_DCHECK(weights[index] <= previous_weight);
+    previous_weight = weights[index];
     // Least-loaded processor; ties broken by the smaller id (paper
     // §5.2.1). min_element returns the first minimum, which is exactly
     // the smallest id.
@@ -96,8 +103,10 @@ std::vector<std::size_t> schedule_round_robin(
 std::vector<std::size_t> processor_loads(
     std::span<const EquivalenceClass> classes,
     std::span<const std::size_t> assignment, std::size_t num_processors) {
+  ECLAT_CHECK(assignment.size() == classes.size());
   std::vector<std::size_t> load(num_processors, 0);
   for (std::size_t i = 0; i < classes.size(); ++i) {
+    ECLAT_CHECK(assignment[i] < num_processors);
     load[assignment[i]] += classes[i].weight();
   }
   return load;

@@ -174,8 +174,13 @@ std::string database_name(const QuestConfig& config) {
   auto round_int = [](double v) {
     return std::to_string(static_cast<long long>(std::lround(v)));
   };
-  std::string name = "T" + round_int(config.avg_transaction_length) + ".I" +
-                     round_int(config.avg_pattern_length) + ".D";
+  // Built with += rather than chained operator+ — GCC 12's -Wrestrict
+  // false-positives on the inlined char_traits copies of the chain.
+  std::string name = "T";
+  name += round_int(config.avg_transaction_length);
+  name += ".I";
+  name += round_int(config.avg_pattern_length);
+  name += ".D";
   const std::size_t d = config.num_transactions;
   if (d % 1'000'000 == 0 && d > 0) {
     name += std::to_string(d / 1'000'000) + "M";

@@ -97,14 +97,13 @@ void HashTree::count_all(std::span<const Transaction> transactions) {
   for (const Transaction& t : transactions) count_transaction(t);
 }
 
-void HashTree::count_recursive(const Node& node,
+void HashTree::count_recursive(Node& node,
                                std::span<const Item> transaction,
                                std::span<const Item> suffix,
                                std::size_t depth) {
   if (node.is_leaf()) {
-    for (const StampedCandidate& entry : node.candidates) {
-      auto& mutable_entry = const_cast<StampedCandidate&>(entry);
-      if (mutable_entry.stamp == visit_stamp_) continue;  // already counted
+    for (StampedCandidate& entry : node.candidates) {
+      if (entry.stamp == visit_stamp_) continue;  // already counted
       // Subset test of the whole candidate against the whole transaction,
       // short-circuited when the transaction suffix is too short.
       const Itemset& cand = entry.candidate.items;
@@ -122,8 +121,8 @@ void HashTree::count_recursive(const Node& node,
         }
       }
       if (ci == cand.size()) {
-        mutable_entry.stamp = visit_stamp_;
-        ++mutable_entry.candidate.count;
+        entry.stamp = visit_stamp_;
+        ++entry.candidate.count;
       }
     }
     return;
@@ -134,7 +133,7 @@ void HashTree::count_recursive(const Node& node,
   const std::size_t needed_after = k_ - depth - 1;
   for (std::size_t i = 0; i < suffix.size(); ++i) {
     if (config_.short_circuit && suffix.size() - i - 1 < needed_after) break;
-    const Node& child = *node.children[bucket_of(suffix[i])];
+    Node& child = *node.children[bucket_of(suffix[i])];
     count_recursive(child, transaction, suffix.subspan(i + 1), depth + 1);
   }
 }

@@ -76,7 +76,7 @@ class HashTree {
   struct Node;
 
   std::size_t bucket_of(Item item) const;
-  void count_recursive(const Node& node, std::span<const Item> transaction,
+  void count_recursive(Node& node, std::span<const Item> transaction,
                        std::span<const Item> suffix, std::size_t depth);
 
   std::size_t k_;

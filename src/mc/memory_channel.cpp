@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/check.hpp"
+
 namespace eclat::mc {
 
 MemoryChannel::RegionId MemoryChannel::create_region(std::size_t bytes) {
@@ -23,12 +25,15 @@ double MemoryChannel::write(RegionId region, std::size_t offset,
     std::lock_guard lock(regions_mutex_);
     buffer = &regions_.at(region);
   }
-  if (offset + data.size() > buffer->size()) {
+  // Overflow-safe bounds check: offset + data.size() could wrap.
+  if (offset > buffer->size() || data.size() > buffer->size() - offset) {
     throw std::out_of_range("region write out of bounds");
   }
   // Disjoint concurrent writes are safe on the underlying bytes; a deque
   // never relocates existing elements on emplace_back.
-  std::memcpy(buffer->data() + offset, data.data(), data.size());
+  if (!data.empty()) {
+    std::memcpy(buffer->data() + offset, data.data(), data.size());
+  }
 
   phase_hub_bytes_.fetch_add(data.size(), std::memory_order_relaxed);
   total_bytes_.fetch_add(data.size(), std::memory_order_relaxed);
@@ -43,10 +48,12 @@ double MemoryChannel::read(RegionId region, std::size_t offset,
     std::lock_guard lock(regions_mutex_);
     buffer = &regions_.at(region);
   }
-  if (offset + out.size() > buffer->size()) {
+  if (offset > buffer->size() || out.size() > buffer->size() - offset) {
     throw std::out_of_range("region read out of bounds");
   }
-  std::memcpy(out.data(), buffer->data() + offset, out.size());
+  if (!out.empty()) {
+    std::memcpy(out.data(), buffer->data() + offset, out.size());
+  }
   return cost_.memcpy_time(out.size());
 }
 

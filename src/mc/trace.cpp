@@ -4,6 +4,8 @@
 #include <map>
 #include <ostream>
 
+#include "common/check.hpp"
+
 namespace eclat::mc {
 
 const char* to_string(TraceKind kind) {
@@ -23,7 +25,7 @@ const char* to_string(TraceKind kind) {
     case TraceKind::kMark:
       return "mark";
   }
-  return "?";
+  ECLAT_UNREACHABLE("invalid TraceKind");
 }
 
 void Trace::record(std::size_t processor, double time, TraceKind kind,

@@ -6,6 +6,7 @@
 
 #include "apriori/apriori.hpp"
 #include "apriori/candidate_gen.hpp"
+#include "common/check.hpp"
 #include "eclat/equivalence.hpp"
 #include "parallel/wire.hpp"
 #include "vertical/vertical_db.hpp"
@@ -238,7 +239,9 @@ ParallelOutput candidate_distribution(
       std::vector<Count> counts(candidates.size());
       self.compute([&] {
         for (std::size_t i = 0; i < candidates.size(); ++i) {
-          counts[i] = tree.find(candidates[i])->count;
+          const Candidate* node = tree.find(candidates[i]);
+          ECLAT_CHECK(node != nullptr);
+          counts[i] = node->count;
         }
       });
       if (!redistributed) {
@@ -251,13 +254,8 @@ ParallelOutput candidate_distribution(
       std::vector<Itemset> next_level;
       for (std::size_t i = 0; i < candidates.size(); ++i) {
         if (counts[i] >= config.minsup) {
-          if (!redistributed) {
-            result.itemsets.push_back(
-                FrequentItemset{candidates[i], counts[i]});
-          } else {
-            result.itemsets.push_back(
-                FrequentItemset{candidates[i], counts[i]});
-          }
+          result.itemsets.push_back(
+              FrequentItemset{candidates[i], counts[i]});
           next_level.push_back(candidates[i]);
         }
       }

@@ -4,8 +4,9 @@
 #include <mutex>
 
 #include "apriori/apriori.hpp"
-#include "parallel/wire.hpp"
 #include "apriori/candidate_gen.hpp"
+#include "common/check.hpp"
+#include "parallel/wire.hpp"
 #include "vertical/vertical_db.hpp"
 
 namespace eclat::par {
@@ -166,7 +167,9 @@ ParallelOutput count_distribution(mc::Cluster& cluster,
       std::vector<Count> counts(candidates.size());
       self.compute([&] {
         for (std::size_t i = 0; i < candidates.size(); ++i) {
-          counts[i] = tree.find(candidates[i])->count;
+          const Candidate* node = tree.find(candidates[i]);
+          ECLAT_CHECK(node != nullptr);  // every inserted candidate resolves
+          counts[i] = node->count;
         }
       });
       self.sum_reduce(counts);

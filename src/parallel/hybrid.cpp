@@ -6,7 +6,9 @@
 
 #include "apriori/apriori.hpp"
 #include "apriori/candidate_gen.hpp"
+#include "common/check.hpp"
 #include "parallel/wire.hpp"
+#include "vertical/tidlist.hpp"
 #include "vertical/vertical_db.hpp"
 
 namespace eclat::par {
@@ -163,6 +165,7 @@ ParallelOutput hybrid_eclat(mc::Cluster& cluster,
           }
         }
         for (const auto& [key, list] : merged) {
+          ECLAT_DCHECK(is_valid_tidlist(list));
           vertical_bytes += sizeof(PairKey) + list.size() * sizeof(Tid);
         }
       });
@@ -395,7 +398,9 @@ ParallelOutput hybrid_count_distribution(
       std::vector<Count> counts(candidates.size());
       self.compute([&] {
         for (std::size_t i = 0; i < candidates.size(); ++i) {
-          counts[i] = tree.find(candidates[i])->count;
+          const Candidate* node = tree.find(candidates[i]);
+          ECLAT_CHECK(node != nullptr);
+          counts[i] = node->count;
         }
       });
       self.sum_reduce(counts,

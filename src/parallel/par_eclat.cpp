@@ -5,7 +5,9 @@
 #include <unordered_map>
 
 #include "apriori/apriori.hpp"
+#include "common/check.hpp"
 #include "parallel/wire.hpp"
+#include "vertical/tidlist.hpp"
 #include "vertical/vertical_db.hpp"
 
 namespace eclat::par {
@@ -140,6 +142,9 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
         }
       }
       for (const auto& [key, list] : my_lists) {
+        // Block partitioning means source order == tid order; if this ever
+        // breaks, every downstream intersection is silently wrong.
+        ECLAT_DCHECK(is_valid_tidlist(list));
         vertical_bytes += sizeof(PairKey) + list.size() * sizeof(Tid);
       }
     });

@@ -1,17 +1,33 @@
 // Byte-level serialization helpers for payloads exchanged between simulated
 // processors (tid-lists, itemsets, counts). Little-endian, fixed-width —
 // all simulated processors share one address space, so no byte-swapping.
+//
+// The Reader treats its blob as untrusted input: every length prefix and
+// every read is validated against the remaining bytes (overflow-safely)
+// before any memcpy, and a malformed blob raises wire::Error instead of
+// reading out of bounds. tests/test_wire_fuzz.cpp drives mutated and
+// truncated blobs through it under ASan to keep that promise honest.
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 #include <stdexcept>
+#include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/types.hpp"
 #include "mc/cluster.hpp"
 
 namespace eclat::wire {
+
+/// Raised when a blob is too short or a length prefix is inconsistent with
+/// the bytes that follow. Derives from std::runtime_error so pre-existing
+/// callers catching that type keep working.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
 
 /// Append-only writer over a growable byte buffer.
 class Writer {
@@ -28,6 +44,7 @@ class Writer {
   void put_vector(const std::vector<T>& values) {
     static_assert(std::is_trivially_copyable_v<T>);
     put<std::uint64_t>(values.size());
+    if (values.empty()) return;  // data() may be null; memcpy(_, null, 0) is UB
     const std::size_t offset = blob_.size();
     blob_.resize(offset + values.size() * sizeof(T));
     std::memcpy(blob_.data() + offset, values.data(),
@@ -42,7 +59,8 @@ class Writer {
   mc::Blob blob_;
 };
 
-/// Sequential reader over a received blob; throws on underrun.
+/// Sequential reader over a received blob; throws wire::Error on underrun
+/// or on a length prefix that exceeds the remaining payload.
 class Reader {
  public:
   explicit Reader(const mc::Blob& blob) : blob_(blob) {}
@@ -50,7 +68,11 @@ class Reader {
   template <typename T>
   T get() {
     static_assert(std::is_trivially_copyable_v<T>);
-    require(sizeof(T));
+    if (sizeof(T) > remaining()) {
+      throw Error("wire payload underrun: need " +
+                  std::to_string(sizeof(T)) + " bytes, have " +
+                  std::to_string(remaining()));
+    }
     T value;
     std::memcpy(&value, blob_.data() + cursor_, sizeof(T));
     cursor_ += sizeof(T);
@@ -60,23 +82,30 @@ class Reader {
   template <typename T>
   std::vector<T> get_vector() {
     static_assert(std::is_trivially_copyable_v<T>);
-    const auto count = get<std::uint64_t>();
-    require(count * sizeof(T));
-    std::vector<T> values(count);
-    std::memcpy(values.data(), blob_.data() + cursor_, count * sizeof(T));
-    cursor_ += count * sizeof(T);
+    const std::uint64_t count = get<std::uint64_t>();
+    // Validate the untrusted count against the bytes actually present
+    // before sizing anything: `count * sizeof(T)` may overflow, so compare
+    // in the division domain instead.
+    if (count > remaining() / sizeof(T)) {
+      throw Error("wire vector length " + std::to_string(count) +
+                  " exceeds remaining payload of " +
+                  std::to_string(remaining()) + " bytes");
+    }
+    std::vector<T> values(static_cast<std::size_t>(count));
+    if (count > 0) {
+      std::memcpy(values.data(), blob_.data() + cursor_,
+                  values.size() * sizeof(T));
+    }
+    cursor_ += values.size() * sizeof(T);
     return values;
   }
+
+  /// Bytes not yet consumed.
+  std::size_t remaining() const { return blob_.size() - cursor_; }
 
   bool done() const { return cursor_ == blob_.size(); }
 
  private:
-  void require(std::size_t bytes) const {
-    if (cursor_ + bytes > blob_.size()) {
-      throw std::runtime_error("wire payload underrun");
-    }
-  }
-
   const mc::Blob& blob_;
   std::size_t cursor_ = 0;
 };

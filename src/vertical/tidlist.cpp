@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
+
 namespace eclat {
 
 bool is_valid_tidlist(std::span<const Tid> tids) {
@@ -12,6 +14,8 @@ bool is_valid_tidlist(std::span<const Tid> tids) {
 }
 
 TidList intersect(std::span<const Tid> a, std::span<const Tid> b) {
+  ECLAT_DCHECK(is_valid_tidlist(a));
+  ECLAT_DCHECK(is_valid_tidlist(b));
   TidList out;
   out.reserve(std::min(a.size(), b.size()));
   std::size_t i = 0;
@@ -31,6 +35,8 @@ TidList intersect(std::span<const Tid> a, std::span<const Tid> b) {
 }
 
 std::size_t intersection_size(std::span<const Tid> a, std::span<const Tid> b) {
+  ECLAT_DCHECK(is_valid_tidlist(a));
+  ECLAT_DCHECK(is_valid_tidlist(b));
   std::size_t count = 0;
   std::size_t i = 0;
   std::size_t j = 0;
@@ -51,6 +57,8 @@ std::size_t intersection_size(std::span<const Tid> a, std::span<const Tid> b) {
 std::optional<TidList> intersect_short_circuit(std::span<const Tid> a,
                                                std::span<const Tid> b,
                                                Count minsup) {
+  ECLAT_DCHECK(is_valid_tidlist(a));
+  ECLAT_DCHECK(is_valid_tidlist(b));
   // Result support <= matched + remaining elements of the shorter list.
   if (std::min(a.size(), b.size()) < minsup) return std::nullopt;
   TidList out;
@@ -98,6 +106,8 @@ std::size_t gallop_lower_bound(std::span<const Tid> span, std::size_t lo,
 }  // namespace
 
 TidList intersect_gallop(std::span<const Tid> a, std::span<const Tid> b) {
+  ECLAT_DCHECK(is_valid_tidlist(a));
+  ECLAT_DCHECK(is_valid_tidlist(b));
   if (a.size() > b.size()) return intersect_gallop(b, a);
   TidList out;
   out.reserve(a.size());
@@ -114,6 +124,8 @@ TidList intersect_gallop(std::span<const Tid> a, std::span<const Tid> b) {
 }
 
 TidList difference(std::span<const Tid> a, std::span<const Tid> b) {
+  ECLAT_DCHECK(is_valid_tidlist(a));
+  ECLAT_DCHECK(is_valid_tidlist(b));
   TidList out;
   out.reserve(a.size());
   std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
@@ -122,10 +134,13 @@ TidList difference(std::span<const Tid> a, std::span<const Tid> b) {
 }
 
 TidList unite(std::span<const Tid> a, std::span<const Tid> b) {
+  ECLAT_DCHECK(is_valid_tidlist(a));
+  ECLAT_DCHECK(is_valid_tidlist(b));
   TidList out;
   out.reserve(a.size() + b.size());
   std::set_union(a.begin(), a.end(), b.begin(), b.end(),
                  std::back_inserter(out));
+  ECLAT_DCHECK(is_valid_tidlist(out));
   return out;
 }
 

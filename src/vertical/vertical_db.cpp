@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/check.hpp"
+
 namespace eclat {
 
 std::vector<TidList> invert_items(std::span<const Transaction> transactions,
@@ -9,6 +11,7 @@ std::vector<TidList> invert_items(std::span<const Transaction> transactions,
   std::vector<TidList> lists(num_items);
   for (const Transaction& t : transactions) {
     for (Item item : t.items) {
+      ECLAT_DCHECK(item < num_items);
       lists[item].push_back(t.tid);
     }
   }
@@ -48,8 +51,11 @@ std::size_t TriangleCounter::index(Item a, Item b) const {
   }
   // Row-major upper triangle: rows 0..a-1 hold (n-1) + (n-2) + ... +
   // (n-a) = a*n - a*(a+1)/2 cells, then offset by b within row a.
+  // All math in std::size_t: a*(a+1) wraps 32-bit Item arithmetic once
+  // the item universe passes ~92k.
   const std::size_t n = num_items_;
-  const std::size_t row_start = a * n - a * (a + 1) / 2;
+  const std::size_t row = a;
+  const std::size_t row_start = row * n - row * (row + 1) / 2;
   return row_start + (b - a - 1);
 }
 

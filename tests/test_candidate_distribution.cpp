@@ -44,8 +44,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(mc::Topology{1, 1}, mc::Topology{2, 1},
                       mc::Topology{2, 2}, mc::Topology{4, 2}),
     [](const auto& info) {
-      return "H" + std::to_string(info.param.hosts) + "P" +
-             std::to_string(info.param.procs_per_host);
+      return testutil::topology_test_name(info.param);
     });
 
 class RedistributionPassSweep : public ::testing::TestWithParam<std::size_t> {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "apriori/apriori.hpp"
 #include "test_util.hpp"
 
@@ -48,8 +50,7 @@ INSTANTIATE_TEST_SUITE_P(
                       mc::Topology{4, 2}, mc::Topology{2, 4},
                       mc::Topology{8, 1}),
     [](const auto& info) {
-      return "H" + std::to_string(info.param.hosts) + "P" +
-             std::to_string(info.param.procs_per_host);
+      return testutil::topology_test_name(info.param);
     });
 
 TEST(CountDistribution, ComputationBalancingSameAnswer) {

@@ -33,8 +33,7 @@ INSTANTIATE_TEST_SUITE_P(
                       mc::Topology{2, 2}, mc::Topology{4, 2},
                       mc::Topology{2, 4}, mc::Topology{8, 4}),
     [](const auto& info) {
-      return "H" + std::to_string(info.param.hosts) + "P" +
-             std::to_string(info.param.procs_per_host);
+      return testutil::topology_test_name(info.param);
     });
 
 class HybridCdTopology : public ::testing::TestWithParam<mc::Topology> {};
@@ -59,8 +58,7 @@ INSTANTIATE_TEST_SUITE_P(
                       mc::Topology{2, 2}, mc::Topology{4, 2},
                       mc::Topology{2, 4}),
     [](const auto& info) {
-      return "H" + std::to_string(info.param.hosts) + "P" +
-             std::to_string(info.param.procs_per_host);
+      return testutil::topology_test_name(info.param);
     });
 
 TEST(HybridEclat, BeatsPureEclatWithManyProcsPerHost) {

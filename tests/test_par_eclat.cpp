@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "eclat/eclat_seq.hpp"
 #include "test_util.hpp"
 
@@ -46,8 +48,7 @@ INSTANTIATE_TEST_SUITE_P(
                       mc::Topology{4, 2}, mc::Topology{2, 4},
                       mc::Topology{8, 1}, mc::Topology{8, 4}),
     [](const auto& info) {
-      return "H" + std::to_string(info.param.hosts) + "P" +
-             std::to_string(info.param.procs_per_host);
+      return testutil::topology_test_name(info.param);
     });
 
 TEST(ParEclat, AllScheduleHeuristicsSameAnswer) {

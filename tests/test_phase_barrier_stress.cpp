@@ -1,0 +1,148 @@
+// Deterministic stress for the mc synchronization layer — the TSan canary
+// for the cluster simulation. All shared state below is deliberately
+// plain (non-atomic): if PhaseBarrier or the cluster collectives ever
+// lose an ordering edge, ThreadSanitizer flags these tests first.
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mc/cluster.hpp"
+#include "mc/phase_barrier.hpp"
+#include "mc/topology.hpp"
+
+namespace eclat::mc {
+namespace {
+
+constexpr std::size_t kThreads = 8;
+constexpr std::size_t kPhases = 400;
+
+TEST(PhaseBarrierStress, OnLastRunsExactlyOncePerPhase) {
+  PhaseBarrier barrier(kThreads);
+  std::size_t fold_count = 0;  // written only inside on_last (exclusive)
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::size_t phase = 0; phase < kPhases; ++phase) {
+        barrier.arrive_and_wait([&] { ++fold_count; });
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(fold_count, kPhases);
+}
+
+TEST(PhaseBarrierStress, PublishesAreVisibleToTheFoldAndToPeers) {
+  PhaseBarrier barrier(kThreads);
+  // slots[t] is written by thread t before the barrier, read by the fold
+  // and by every peer after release — all without atomics. The barrier
+  // must supply every one of those happens-before edges.
+  std::vector<std::size_t> slots(kThreads, 0);
+  std::vector<std::size_t> fold_sums;
+  fold_sums.reserve(kPhases);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t phase = 1; phase <= kPhases; ++phase) {
+        slots[t] = phase * (t + 1);
+        barrier.arrive_and_wait([&] {
+          std::size_t sum = 0;
+          for (std::size_t slot : slots) sum += slot;
+          fold_sums.push_back(sum);
+        });
+        // Every peer's publish must be visible after release.
+        for (std::size_t peer = 0; peer < kThreads; ++peer) {
+          ASSERT_EQ(slots[peer], phase * (peer + 1));
+        }
+        barrier.arrive_and_wait();  // keep phases in lock step
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  ASSERT_EQ(fold_sums.size(), kPhases);
+  const std::size_t weights = kThreads * (kThreads + 1) / 2;
+  for (std::size_t phase = 1; phase <= kPhases; ++phase) {
+    EXPECT_EQ(fold_sums[phase - 1], phase * weights);
+  }
+}
+
+TEST(PhaseBarrierStress, ReusableAcrossGenerationsWithoutLostWakeups) {
+  // Two-participant ping-pong maximizes generation turnover, the classic
+  // spot for lost-wakeup bugs in reusable barriers.
+  PhaseBarrier barrier(2);
+  std::size_t counter = 0;
+  auto body = [&] {
+    for (std::size_t phase = 0; phase < 4 * kPhases; ++phase) {
+      barrier.arrive_and_wait([&] { ++counter; });
+    }
+  };
+  std::thread a(body);
+  std::thread b(body);
+  a.join();
+  b.join();
+  EXPECT_EQ(counter, 4 * kPhases);
+}
+
+TEST(PhaseBarrierStress, ClusterCollectivesUnderRepeatedMixedTraffic) {
+  // Drive every collective of the mc layer back to back on a 2x2 virtual
+  // cluster. Non-atomic per-processor scratch plus the collectives' own
+  // internal slots give TSan full coverage of the fold/publish/consume
+  // protocol described in cluster.cpp.
+  const Topology topology{2, 2};
+  Cluster cluster(topology);
+  const std::size_t total = topology.total();
+  constexpr std::size_t kRounds = 40;
+
+  std::vector<std::size_t> scratch(total, 0);
+  cluster.run([&](Processor& self) {
+    const std::size_t me = self.id();
+    for (std::size_t round = 1; round <= kRounds; ++round) {
+      // sum_reduce: every element must become the global sum.
+      std::vector<Count> values(4, static_cast<Count>(me + round));
+      self.sum_reduce(values);
+      Count expected = 0;
+      for (std::size_t p = 0; p < total; ++p) expected += p + round;
+      for (Count value : values) ASSERT_EQ(value, expected);
+
+      // broadcast from a rotating root.
+      const std::size_t root = round % total;
+      Blob payload;
+      if (me == root) payload.assign(16, static_cast<std::uint8_t>(round));
+      const Blob received = self.broadcast(root, std::move(payload));
+      ASSERT_EQ(received.size(), 16u);
+      ASSERT_EQ(received.front(), static_cast<std::uint8_t>(round));
+
+      // all_to_all: processor d receives byte (src ^ round) from src.
+      std::vector<Blob> outgoing(total);
+      for (std::size_t dst = 0; dst < total; ++dst) {
+        outgoing[dst].assign(8, static_cast<std::uint8_t>(me ^ round));
+      }
+      const std::vector<Blob> incoming =
+          self.all_to_all(std::move(outgoing));
+      for (std::size_t src = 0; src < total; ++src) {
+        ASSERT_EQ(incoming[src].front(),
+                  static_cast<std::uint8_t>(src ^ round));
+      }
+
+      // all_gather + plain-scratch publish/consume across a barrier.
+      scratch[me] = round * (me + 1);
+      const std::vector<Blob> gathered =
+          self.all_gather(Blob(4, static_cast<std::uint8_t>(me)));
+      ASSERT_EQ(gathered.size(), total);
+      self.barrier();
+      for (std::size_t peer = 0; peer < total; ++peer) {
+        ASSERT_EQ(scratch[peer], round * (peer + 1));
+      }
+      self.barrier();  // scratch consumed before the next round's publish
+    }
+  });
+}
+
+}  // namespace
+}  // namespace eclat::mc

@@ -4,12 +4,25 @@
 
 #include <algorithm>
 #include <map>
+#include <string>
 
 #include "common/result.hpp"
 #include "data/horizontal.hpp"
 #include "gen/quest.hpp"
+#include "mc/topology.hpp"
 
 namespace eclat::testutil {
+
+/// gtest name generator for topology-parameterised suites ("H2P4").
+/// Built with += rather than chained operator+, which trips a GCC 12
+/// -Wrestrict false positive in the inlined char_traits copy.
+inline std::string topology_test_name(const mc::Topology& topology) {
+  std::string name = "H";
+  name += std::to_string(topology.hosts);
+  name += "P";
+  name += std::to_string(topology.procs_per_host);
+  return name;
+}
 
 /// Exhaustive reference miner: enumerates every itemset that appears in at
 /// least one transaction (via subset growth) and keeps the frequent ones.

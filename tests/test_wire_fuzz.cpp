@@ -1,0 +1,176 @@
+// Deterministic fuzz harness for wire::Reader: mutated, truncated, and
+// adversarial blobs must either deserialize or raise wire::Error — never
+// read out of bounds (ASan-verified in the asan-ubsan preset) and never
+// allocate unbounded memory from a forged length prefix.
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "parallel/wire.hpp"
+#include "vertical/vertical_db.hpp"
+
+namespace eclat::wire {
+namespace {
+
+// Mirror of the par_eclat transformation-phase payload: a sequence of
+// (PairKey, tid-vector) records, drained until the blob is exhausted.
+void drain_pair_records(const mc::Blob& blob) {
+  Reader reader(blob);
+  while (!reader.done()) {
+    (void)reader.get<PairKey>();
+    (void)reader.get_vector<Tid>();
+  }
+}
+
+// Mirror of the reduction-phase payload: a count-prefixed sequence of
+// (itemset-vector, support) records.
+void drain_itemset_records(const mc::Blob& blob) {
+  Reader reader(blob);
+  const auto count = reader.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    (void)reader.get_vector<Item>();
+    (void)reader.get<Count>();
+  }
+}
+
+mc::Blob valid_pair_blob(Rng& rng) {
+  Writer writer;
+  const std::size_t records = rng.below(8);
+  for (std::size_t r = 0; r < records; ++r) {
+    writer.put(make_pair_key(static_cast<Item>(rng.below(100)),
+                             static_cast<Item>(rng.below(100))));
+    std::vector<Tid> tids(rng.below(32));
+    for (Tid& tid : tids) tid = static_cast<Tid>(rng.below(1 << 20));
+    writer.put_vector(tids);
+  }
+  return writer.take();
+}
+
+mc::Blob valid_itemset_blob(Rng& rng) {
+  Writer writer;
+  const std::uint64_t records = rng.below(8);
+  writer.put(records);
+  for (std::uint64_t r = 0; r < records; ++r) {
+    std::vector<Item> items(1 + rng.below(6));
+    for (Item& item : items) item = static_cast<Item>(rng.below(1000));
+    writer.put_vector(items);
+    writer.put<Count>(rng.below(10000));
+  }
+  return writer.take();
+}
+
+/// Apply one of: truncation, byte flips, or a splice of random bytes.
+mc::Blob mutate(mc::Blob blob, Rng& rng) {
+  switch (rng.below(3)) {
+    case 0:  // truncate
+      if (!blob.empty()) blob.resize(rng.below(blob.size()));
+      break;
+    case 1: {  // flip up to 8 bytes
+      if (blob.empty()) break;
+      const std::size_t flips = 1 + rng.below(8);
+      for (std::size_t f = 0; f < flips; ++f) {
+        blob[rng.below(blob.size())] ^=
+            static_cast<std::uint8_t>(1 + rng.below(255));
+      }
+      break;
+    }
+    default: {  // splice random garbage at a random offset
+      const std::size_t at = blob.empty() ? 0 : rng.below(blob.size());
+      std::vector<std::uint8_t> garbage(rng.below(24));
+      for (std::uint8_t& byte : garbage) {
+        byte = static_cast<std::uint8_t>(rng.below(256));
+      }
+      blob.insert(blob.begin() + static_cast<std::ptrdiff_t>(at),
+                  garbage.begin(), garbage.end());
+      break;
+    }
+  }
+  return blob;
+}
+
+template <typename Drain>
+void fuzz(Drain&& drain, mc::Blob (*make_valid)(Rng&), std::uint64_t seed,
+          int iterations) {
+  Rng rng(seed);
+  for (int i = 0; i < iterations; ++i) {
+    mc::Blob blob = mutate(make_valid(rng), rng);
+    try {
+      drain(blob);
+    } catch (const Error&) {
+      // Malformed input detected and rejected: exactly the contract.
+    }
+  }
+}
+
+TEST(WireFuzz, MutatedPairBlobsNeverReadOutOfBounds) {
+  fuzz(drain_pair_records, valid_pair_blob, 0xA11CE, 4000);
+}
+
+TEST(WireFuzz, MutatedItemsetBlobsNeverReadOutOfBounds) {
+  fuzz(drain_itemset_records, valid_itemset_blob, 0xB0B, 4000);
+}
+
+TEST(WireFuzz, TruncationAtEveryByteBoundary) {
+  Rng rng(42);
+  const mc::Blob blob = valid_pair_blob(rng);
+  for (std::size_t cut = 0; cut < blob.size(); ++cut) {
+    mc::Blob truncated(blob.begin(),
+                       blob.begin() + static_cast<std::ptrdiff_t>(cut));
+    try {
+      drain_pair_records(truncated);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(WireFuzz, ForgedHugeCountIsRejectedNotAllocated) {
+  // A forged 2^64-1 length prefix must throw, not wrap the byte math to a
+  // small number (the pre-hardening bug) or attempt an 8-exabyte alloc.
+  Writer writer;
+  writer.put<std::uint64_t>(std::numeric_limits<std::uint64_t>::max());
+  writer.put<Tid>(7);
+  const mc::Blob blob = writer.take();
+  Reader reader(blob);
+  EXPECT_THROW((void)reader.get_vector<Tid>(), Error);
+}
+
+TEST(WireFuzz, CountOverflowingSizeComputationIsRejected) {
+  // count * sizeof(Tid) == 2^64 exactly: wraps to 0 in the naive check.
+  Writer writer;
+  writer.put<std::uint64_t>(1ULL << 62);  // * 4 bytes/Tid == 2^64
+  const mc::Blob blob = writer.take();
+  Reader reader(blob);
+  EXPECT_THROW((void)reader.get_vector<Tid>(), Error);
+}
+
+TEST(WireFuzz, CountJustOverRemainingIsRejected) {
+  Writer writer;
+  writer.put_vector(std::vector<Tid>{1, 2, 3});
+  mc::Blob blob = writer.take();
+  blob.resize(blob.size() - 1);  // last element now short one byte
+  Reader reader(blob);
+  EXPECT_THROW((void)reader.get_vector<Tid>(), Error);
+}
+
+TEST(WireFuzz, EmptyBlobUnderruns) {
+  const mc::Blob blob;
+  Reader reader(blob);
+  EXPECT_TRUE(reader.done());
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_THROW((void)reader.get<std::uint8_t>(), Error);
+}
+
+TEST(WireFuzz, ValidBlobsRoundTripUnmutated) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_NO_THROW(drain_pair_records(valid_pair_blob(rng)));
+    EXPECT_NO_THROW(drain_itemset_records(valid_itemset_blob(rng)));
+  }
+}
+
+}  // namespace
+}  // namespace eclat::wire
