@@ -67,6 +67,19 @@ MiningResult read_result(std::istream& stream) {
   return result;
 }
 
+std::vector<std::uint8_t> result_to_bytes(const MiningResult& result) {
+  std::ostringstream stream(std::ios::binary);
+  write_result(result, stream);
+  const std::string text = stream.str();
+  return {text.begin(), text.end()};
+}
+
+MiningResult result_from_bytes(const std::vector<std::uint8_t>& bytes) {
+  std::istringstream stream(std::string(bytes.begin(), bytes.end()),
+                            std::ios::binary);
+  return read_result(stream);
+}
+
 void write_result_file(const MiningResult& result, const std::string& path) {
   std::ofstream stream(path, std::ios::binary);
   if (!stream) throw std::runtime_error("cannot open for write: " + path);

@@ -10,8 +10,10 @@
 // " #SUP: <count>" — interoperable with other mining tool chains.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "common/result.hpp"
 
@@ -19,6 +21,11 @@ namespace eclat {
 
 void write_result(const MiningResult& result, std::ostream& stream);
 MiningResult read_result(std::istream& stream);
+
+/// In-memory forms of the binary format, for checkpointing partial results
+/// through the simulated cluster's disks and Memory Channel regions.
+std::vector<std::uint8_t> result_to_bytes(const MiningResult& result);
+MiningResult result_from_bytes(const std::vector<std::uint8_t>& bytes);
 
 void write_result_file(const MiningResult& result, const std::string& path);
 MiningResult read_result_file(const std::string& path);

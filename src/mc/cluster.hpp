@@ -13,17 +13,32 @@
 // (plus the collective's own cost), exactly like lock-step phases on the
 // real machine. The reported "total execution time" of an algorithm is the
 // maximum final clock — deterministic for a fixed dataset and topology.
+//
+// Failure semantics: a FaultPlan attached with set_fault_plan can crash
+// processors (ProcessorFailed), stall disks, corrupt payloads and degrade
+// the hub — deterministically, from a seeded schedule. A crashed processor
+// deregisters from the PhaseBarrier, and every collective completes with
+// survivor-only semantics: surviving processors fold only surviving slots
+// and keep running; Cluster::run reports a per-processor outcome instead
+// of rethrowing-and-hanging. The failed set visible to an SPMD body is the
+// epoch snapshot taken at its last collective, so every survivor of one
+// generation observes the identical set and failure-handling control flow
+// stays globally consistent.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
+#include <string>
 #include <type_traits>
+#include <unordered_map>
 #include <vector>
 
 #include "common/clock.hpp"
 #include "common/types.hpp"
 #include "mc/cost_model.hpp"
+#include "mc/fault.hpp"
 #include "mc/memory_channel.hpp"
 #include "mc/phase_barrier.hpp"
 #include "mc/trace.hpp"
@@ -35,6 +50,47 @@ namespace eclat::mc {
 using Blob = std::vector<std::uint8_t>;
 
 class Cluster;
+
+/// How one simulated processor ended a run.
+enum class ProcessorOutcome : std::uint8_t {
+  kFinished,  ///< body returned normally
+  kCrashed,   ///< an injected ProcessorFailed fault fired
+  kAborted,   ///< the body threw any other exception
+};
+
+const char* to_string(ProcessorOutcome outcome);
+
+/// Per-processor outcome of a Cluster::run. Replaces the old behaviour of
+/// rethrowing the first exception while peers hang at a barrier: crashes
+/// are *reported*, non-fault exceptions are still rethrown (first one)
+/// after every thread has joined, with the rest logged to the Trace.
+struct RunReport {
+  std::vector<ProcessorOutcome> outcomes;
+
+  bool all_finished() const {
+    for (const ProcessorOutcome o : outcomes) {
+      if (o != ProcessorOutcome::kFinished) return false;
+    }
+    return true;
+  }
+
+  std::size_t crashed() const {
+    std::size_t n = 0;
+    for (const ProcessorOutcome o : outcomes) {
+      if (o == ProcessorOutcome::kCrashed) ++n;
+    }
+    return n;
+  }
+
+  /// Ids of processors that did not finish.
+  std::vector<std::size_t> failed() const {
+    std::vector<std::size_t> ids;
+    for (std::size_t p = 0; p < outcomes.size(); ++p) {
+      if (outcomes[p] != ProcessorOutcome::kFinished) ids.push_back(p);
+    }
+    return ids;
+  }
+};
 
 /// Handle an SPMD body uses to act as one processor of the cluster.
 /// Not copyable; lives for the duration of Cluster::run.
@@ -55,6 +111,7 @@ class Processor {
   /// the clock. Returns body's result.
   template <typename F>
   auto compute(F&& body) {
+    fault_probe(FaultOp::kCompute);
     CpuStopwatch watch;
     if constexpr (std::is_void_v<decltype(body())>) {
       body();
@@ -76,8 +133,10 @@ class Processor {
   void disk_read(std::size_t bytes, std::size_t scanners = 0);
   void disk_write(std::size_t bytes, std::size_t scanners = 0);
 
-  // --- Collectives. Every processor of the cluster must call the same
-  // sequence of collectives (standard SPMD discipline). ---
+  // --- Collectives. Every *surviving* processor of the cluster must call
+  // the same sequence of collectives (standard SPMD discipline); failed
+  // processors are excluded from the fold and their result slots stay
+  // empty. ---
 
   /// Synchronize; clocks jump to max + barrier cost + any outstanding
   /// hub-bandwidth deficit of the closing phase.
@@ -100,27 +159,56 @@ class Processor {
     kSerializedHosts,
   };
 
-  /// Element-wise global sum of `values` (same length everywhere); on
-  /// return every processor holds the totals.
+  /// Element-wise global sum of `values` (same length on every survivor);
+  /// on return every surviving processor holds the survivor totals.
   void sum_reduce(std::span<Count> values,
                   ReduceScheme scheme = ReduceScheme::kSerialized);
 
   /// Deliver root's payload to every processor (MC writes are multicast,
-  /// §6.1, so the root pays one message).
+  /// §6.1, so the root pays one message). A failed root delivers an empty
+  /// payload.
   Blob broadcast(std::size_t root, Blob payload);
 
   /// Personalized all-to-all: `outgoing[d]` goes to processor d; returns
   /// `incoming[s]` from processor s. Models the §6.3 lock-step
-  /// write/read-phase exchange through bounded transmit buffers.
+  /// write/read-phase exchange through bounded transmit buffers. Rows from
+  /// processors that had failed before the fold arrive empty — consult
+  /// failed_snapshot() for who participated.
   std::vector<Blob> all_to_all(std::vector<Blob> outgoing);
 
-  /// Every processor contributes `payload`; all receive all contributions.
+  /// Every surviving processor contributes `payload`; all receive all
+  /// surviving contributions (failed slots are empty).
   std::vector<Blob> all_gather(Blob payload);
+
+  // --- Failure handling. ---
+
+  /// The failed-processor set as of this processor's most recent
+  /// collective (the epoch snapshot folded under the barrier lock). Every
+  /// participant of one generation sees the identical set, which is what
+  /// keeps SPMD failure-handling decisions globally consistent.
+  std::vector<bool> failed_snapshot() const;
+
+  /// Ids set in failed_snapshot().
+  std::vector<std::size_t> failed_processors() const;
+
+  /// Named injection site for algorithm-level fault points (e.g. "after
+  /// this equivalence class was checkpointed"). No-op without a fault
+  /// plan; may throw ProcessorFailed.
+  void fault_point(const std::string& label);
+
+  /// Fetch the pristine copy of the last collective payload delivered from
+  /// `src` to this processor after its delivered copy failed validation
+  /// (the fault injector keeps corrupted deliveries' originals in the
+  /// cluster's retransmit buffer). Charges a full retransmission. Throws
+  /// std::logic_error when nothing was corrupted — a decoder rejecting an
+  /// uncorrupted payload is a bug, not a recoverable fault.
+  Blob retransmit(std::size_t src);
 
   /// Direct Memory Channel access for algorithm-specific region use.
   MemoryChannel& channel();
 
-  /// Region write/read that charge this processor's clock.
+  /// Region write/read that charge this processor's clock. Writes are
+  /// subject to injected region corruption (CRC-protect what matters).
   void region_write(MemoryChannel::RegionId region, std::size_t offset,
                     std::span<const std::uint8_t> data);
   void region_read(MemoryChannel::RegionId region, std::size_t offset,
@@ -138,9 +226,13 @@ class Processor {
   Processor& operator=(const Processor&) = delete;
 
   void trace_compute(std::uint64_t nanoseconds);
+  /// Probe the fault injector at an injection site; throws
+  /// ProcessorFailed on a crash event, returns the disk-stall multiplier.
+  double fault_probe(FaultOp op, const std::string& label = "");
 
   Cluster* cluster_;
   std::size_t id_;
+  std::string phase_;  ///< current phase label (set by phase_begin/end)
 };
 
 class Cluster {
@@ -148,9 +240,11 @@ class Cluster {
   Cluster(const Topology& topology, const CostModel& cost = {});
 
   /// Run `body` as one instance per processor (T real threads). May be
-  /// called repeatedly; clocks are reset per run. Exceptions thrown by any
-  /// instance are rethrown here after all threads join.
-  void run(const std::function<void(Processor&)>& body);
+  /// called repeatedly; clocks, failure state and the fault injector are
+  /// reset per run. Injected crashes (ProcessorFailed) are *reported* in
+  /// the RunReport; any other exception is rethrown here after all
+  /// threads join (first one wins, the rest are logged to the Trace).
+  RunReport run(const std::function<void(Processor&)>& body);
 
   const Topology& topology() const { return topology_; }
   const CostModel& cost() const { return cost_; }
@@ -162,16 +256,37 @@ class Cluster {
   /// Total execution time of the last run = max final clock.
   double makespan() const;
 
+  /// Attach a deterministic failure schedule; each subsequent run()
+  /// instantiates a fresh FaultInjector from it, so every run replays the
+  /// identical schedule. Pass an empty plan (or clear_fault_plan) to run
+  /// fault-free.
+  void set_fault_plan(FaultPlan plan) { fault_plan_ = std::move(plan); }
+  void clear_fault_plan() { fault_plan_ = FaultPlan{}; }
+  const FaultPlan& fault_plan() const { return fault_plan_; }
+
+  /// Outcomes of the last run (also returned by run()).
+  const RunReport& last_run_report() const { return report_; }
+
   /// Attach an event sink; processors then record disk scans, compute
-  /// sections, barriers and phase markers with virtual timestamps.
-  /// Pass nullptr to detach. The Trace must outlive subsequent runs.
+  /// sections, barriers, phase markers and fault events with virtual
+  /// timestamps. Pass nullptr to detach. The Trace must outlive
+  /// subsequent runs.
   void set_trace(Trace* trace) { trace_ = trace; }
   Trace* trace() { return trace_; }
 
  private:
   friend class Processor;
 
+  /// Arrive at the barrier; `fold` (may be empty) runs on the last
+  /// arriver, then the epoch snapshot is captured. Every collective and
+  /// barrier funnels through here.
+  void sync(const std::function<void()>& fold);
+
   void apply_phase_floor_and_sync(double extra_cost);
+  double max_survivor_clock() const;
+  void fill_survivor_clocks(double value);
+  /// Hub aggregate bandwidth, after any active degradation fault.
+  double hub_bandwidth();
 
   Topology topology_;
   CostModel cost_;
@@ -179,8 +294,22 @@ class Cluster {
   PhaseBarrier barrier_;
   Trace* trace_ = nullptr;
 
+  FaultPlan fault_plan_;
+  std::unique_ptr<FaultInjector> injector_;  ///< fresh per run
+  RunReport report_;
+
   std::vector<double> clocks_;
   double phase_start_max_ = 0.0;  // max clock at the last barrier
+
+  // Epoch snapshot of the failed set, rewritten by every fold while the
+  // barrier lock is held; read by survivors between collectives (the
+  // barrier's release/arrive edges order those reads against the next
+  // fold's write).
+  std::vector<bool> epoch_failed_;
+
+  // Pristine copies of payloads the injector corrupted in the last
+  // collective, keyed [dst][src]; consumed by Processor::retransmit.
+  std::vector<std::unordered_map<std::size_t, Blob>> retransmit_store_;
 
   // Collective scratch state (written before a barrier, folded by the
   // last arriver, consumed after release — see the data-flow note in

@@ -1,0 +1,269 @@
+#include "mc/fault.hpp"
+
+#include <algorithm>
+
+namespace eclat::mc {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kDiskStall: return "disk-stall";
+    case FaultKind::kCorruptMessage: return "corrupt-message";
+    case FaultKind::kCorruptRegion: return "corrupt-region";
+    case FaultKind::kHubDegrade: return "hub-degrade";
+  }
+  return "?";
+}
+
+const char* to_string(FaultOp op) {
+  switch (op) {
+    case FaultOp::kAny: return "any";
+    case FaultOp::kCompute: return "compute";
+    case FaultOp::kDiskRead: return "disk-read";
+    case FaultOp::kDiskWrite: return "disk-write";
+    case FaultOp::kBarrier: return "barrier";
+    case FaultOp::kSumReduce: return "sum-reduce";
+    case FaultOp::kBroadcast: return "broadcast";
+    case FaultOp::kAllToAll: return "all-to-all";
+    case FaultOp::kAllGather: return "all-gather";
+    case FaultOp::kRegionWrite: return "region-write";
+    case FaultOp::kPoint: return "point";
+  }
+  return "?";
+}
+
+FaultEvent FaultPlan::crash(std::size_t proc, FaultOp op, std::string phase,
+                            std::size_t after_calls) {
+  FaultEvent event;
+  event.kind = FaultKind::kCrash;
+  event.processor = proc;
+  event.op = op;
+  event.phase = std::move(phase);
+  event.after_calls = after_calls;
+  return event;
+}
+
+FaultEvent FaultPlan::crash_at_point(std::size_t proc, std::string label,
+                                     std::size_t after_calls) {
+  FaultEvent event;
+  event.kind = FaultKind::kCrash;
+  event.processor = proc;
+  event.op = FaultOp::kPoint;
+  event.label = std::move(label);
+  event.after_calls = after_calls;
+  return event;
+}
+
+FaultEvent FaultPlan::crash_at_time(std::size_t proc, double at_time) {
+  FaultEvent event;
+  event.kind = FaultKind::kCrash;
+  event.processor = proc;
+  event.at_time = at_time;
+  return event;
+}
+
+FaultEvent FaultPlan::disk_stall(std::size_t proc, double multiplier,
+                                 std::string phase, bool persistent) {
+  FaultEvent event;
+  event.kind = FaultKind::kDiskStall;
+  event.processor = proc;
+  event.op = FaultOp::kDiskRead;
+  event.phase = std::move(phase);
+  event.severity = multiplier;
+  event.persistent = persistent;
+  return event;
+}
+
+FaultEvent FaultPlan::corrupt_message(std::size_t dst, std::size_t src,
+                                      std::size_t after_calls,
+                                      double max_bytes) {
+  FaultEvent event;
+  event.kind = FaultKind::kCorruptMessage;
+  event.processor = dst;
+  event.peer = src;
+  event.after_calls = after_calls;
+  event.severity = max_bytes;
+  return event;
+}
+
+FaultEvent FaultPlan::corrupt_region(std::size_t proc,
+                                     std::size_t after_calls,
+                                     double max_bytes) {
+  FaultEvent event;
+  event.kind = FaultKind::kCorruptRegion;
+  event.processor = proc;
+  event.op = FaultOp::kRegionWrite;
+  event.after_calls = after_calls;
+  event.severity = max_bytes;
+  return event;
+}
+
+FaultEvent FaultPlan::hub_degrade(double divisor, double from,
+                                  double duration) {
+  FaultEvent event;
+  event.kind = FaultKind::kHubDegrade;
+  event.severity = divisor;
+  event.at_time = from;
+  event.duration = duration;
+  return event;
+}
+
+ProcessorFailed::ProcessorFailed(std::size_t processor,
+                                 const std::string& site)
+    : std::runtime_error("processor " + std::to_string(processor) +
+                         " failed at " + site),
+      processor_(processor) {}
+
+FaultInjector::FaultInjector(const FaultPlan& plan,
+                             std::size_t total_processors)
+    : fold_rng_(plan.seed ^ 0xf01df01df01df01dULL) {
+  events_.reserve(plan.events.size());
+  for (const FaultEvent& event : plan.events) {
+    const bool needs_owner = event.kind == FaultKind::kCrash ||
+                             event.kind == FaultKind::kDiskStall ||
+                             event.kind == FaultKind::kCorruptRegion;
+    if (needs_owner && event.processor >= total_processors) {
+      throw std::invalid_argument(
+          std::string(to_string(event.kind)) +
+          " fault events need an explicit target processor "
+          "(determinism requires single-owner trigger counters)");
+    }
+    events_.push_back(EventState{event, 0, false});
+  }
+  // One independent stream per processor: forked deterministically from
+  // the plan seed so a processor's draws never depend on peer timing.
+  Rng seeder(plan.seed);
+  proc_rng_.reserve(total_processors);
+  for (std::size_t p = 0; p < total_processors; ++p) {
+    proc_rng_.push_back(seeder.split());
+  }
+}
+
+namespace {
+
+bool site_matches(const FaultEvent& event, FaultOp op,
+                  const std::string& phase, const std::string& label) {
+  if (event.op != FaultOp::kAny && event.op != op) return false;
+  if (!event.phase.empty() && event.phase != phase) return false;
+  if (!event.label.empty() && event.label != label) return false;
+  return true;
+}
+
+}  // namespace
+
+double FaultInjector::probe(std::size_t proc, FaultOp op,
+                            const std::string& phase,
+                            const std::string& label, double now) {
+  double stall = 1.0;
+  for (EventState& state : events_) {
+    const FaultEvent& event = state.event;
+    if (event.kind != FaultKind::kCrash &&
+        event.kind != FaultKind::kDiskStall) {
+      continue;
+    }
+    if (event.processor != proc) continue;
+    if (!site_matches(event, op, phase, label)) continue;
+
+    bool fires = false;
+    if (event.at_time >= 0.0) {
+      fires = !state.fired && now >= event.at_time;
+    } else {
+      fires = !state.fired && state.hits == event.after_calls;
+      ++state.hits;
+    }
+    if (fires) {
+      state.fired = true;
+      injected_.fetch_add(1, std::memory_order_relaxed);
+      if (event.kind == FaultKind::kCrash) {
+        throw ProcessorFailed(
+            proc, std::string(to_string(op)) +
+                      (phase.empty() ? "" : "/" + phase) +
+                      (label.empty() ? "" : "/" + label));
+      }
+      stall *= event.severity;
+    } else if (state.fired && event.persistent &&
+               event.kind == FaultKind::kDiskStall) {
+      stall *= event.severity;
+    }
+  }
+  return stall;
+}
+
+bool FaultInjector::corrupt_message(std::size_t dst, std::size_t src,
+                                    std::vector<std::uint8_t>& payload) {
+  bool corrupted = false;
+  for (EventState& state : events_) {
+    const FaultEvent& event = state.event;
+    if (event.kind != FaultKind::kCorruptMessage || state.fired) continue;
+    if (event.processor != kAnyProcessor && event.processor != dst) continue;
+    if (event.peer != kAnyProcessor && event.peer != src) continue;
+    if (payload.empty()) continue;  // nothing to corrupt; keep waiting
+    if (state.hits++ != event.after_calls) continue;
+    state.fired = true;
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    mutate(payload, static_cast<std::size_t>(event.severity), fold_rng_);
+    corrupted = true;
+  }
+  return corrupted;
+}
+
+bool FaultInjector::corrupt_region_write(std::size_t proc,
+                                         const std::string& phase,
+                                         std::vector<std::uint8_t>& data) {
+  bool corrupted = false;
+  for (EventState& state : events_) {
+    const FaultEvent& event = state.event;
+    if (event.kind != FaultKind::kCorruptRegion || state.fired) continue;
+    if (event.processor != proc) continue;
+    if (!event.phase.empty() && event.phase != phase) continue;
+    if (data.empty()) continue;
+    if (state.hits++ != event.after_calls) continue;
+    state.fired = true;
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    mutate(data, static_cast<std::size_t>(event.severity),
+           proc_rng_[proc]);
+    corrupted = true;
+  }
+  return corrupted;
+}
+
+double FaultInjector::hub_divisor(double now) {
+  double divisor = 1.0;
+  for (EventState& state : events_) {
+    const FaultEvent& event = state.event;
+    if (event.kind != FaultKind::kHubDegrade) continue;
+    const double from = std::max(event.at_time, 0.0);
+    const bool active =
+        now >= from && (event.duration < 0.0 || now < from + event.duration);
+    if (active) {
+      if (!state.fired) {
+        state.fired = true;
+        injected_.fetch_add(1, std::memory_order_relaxed);
+      }
+      divisor *= event.severity;
+    }
+  }
+  return std::max(divisor, 1.0);
+}
+
+std::size_t FaultInjector::injected() const {
+  return injected_.load(std::memory_order_relaxed);
+}
+
+void FaultInjector::mutate(std::vector<std::uint8_t>& bytes,
+                           std::size_t max_bytes, Rng& rng) {
+  // Truncation 1 time in 4, bit flips otherwise — both must be caught by
+  // the CRC32 frame check, never decoded into wrong counts.
+  if (rng.below(4) == 0) {
+    bytes.resize(rng.below(bytes.size()));
+    return;
+  }
+  const std::size_t flips =
+      1 + rng.below(std::max<std::size_t>(max_bytes, 1));
+  for (std::size_t f = 0; f < flips; ++f) {
+    bytes[rng.below(bytes.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.below(255));
+  }
+}
+
+}  // namespace eclat::mc

@@ -1,0 +1,198 @@
+// Deterministic, seeded fault injection for the simulated cluster.
+//
+// A FaultPlan is a list of FaultEvents attached to a Cluster before a run.
+// Each event names a *site* — (processor, operation kind, phase label,
+// call count) — or a virtual-time trigger, and a fault kind:
+//
+//   - kCrash: the processor raises ProcessorFailed at the injection site.
+//     The cluster marks it failed in the PhaseBarrier so every collective
+//     completes with survivor-only semantics instead of deadlocking.
+//   - kDiskStall: the matching disk scan(s) take `severity` times longer —
+//     a straggler, visible in the makespan but never in the mined output.
+//   - kCorruptMessage: bit flips or truncation applied to a payload
+//     delivered by all_to_all, exercising the CRC-framed wire decoders.
+//     The pristine payload stays in the cluster's retransmit buffer, so a
+//     receiver that detects the corruption can recover it at a modeled
+//     retransmission cost.
+//   - kCorruptRegion: same mutation applied to a raw MemoryChannel region
+//     write issued through Processor::region_write.
+//   - kHubDegrade: divides the hub's aggregate bandwidth by `severity`
+//     during a virtual-time window.
+//
+// Every random draw (which bytes flip, truncation points) comes from
+// eclat::Rng streams forked from FaultPlan::seed, and every trigger
+// counter is advanced only by the thread that owns it — so a (plan, seed)
+// pair reproduces the exact same failure schedule on every run.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace eclat::mc {
+
+enum class FaultKind : std::uint8_t {
+  kCrash,
+  kDiskStall,
+  kCorruptMessage,
+  kCorruptRegion,
+  kHubDegrade,
+};
+
+/// Operation kinds a fault site can match. kPoint matches the explicit
+/// Processor::fault_point(label) probes algorithms place at recovery-
+/// relevant boundaries (e.g. par_eclat's "class-checkpointed").
+enum class FaultOp : std::uint8_t {
+  kAny,
+  kCompute,
+  kDiskRead,
+  kDiskWrite,
+  kBarrier,
+  kSumReduce,
+  kBroadcast,
+  kAllToAll,
+  kAllGather,
+  kRegionWrite,
+  kPoint,
+};
+
+const char* to_string(FaultKind kind);
+const char* to_string(FaultOp op);
+
+inline constexpr std::size_t kAnyProcessor = static_cast<std::size_t>(-1);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+
+  /// Target processor. Required (not kAnyProcessor) for kCrash,
+  /// kDiskStall and kCorruptRegion so trigger counters stay single-owner
+  /// (that is what makes the schedule deterministic). For kCorruptMessage
+  /// this is the *destination*; kAnyProcessor matches any destination.
+  std::size_t processor = kAnyProcessor;
+
+  /// kCorruptMessage only: source processor filter (kAnyProcessor = any).
+  std::size_t peer = kAnyProcessor;
+
+  FaultOp op = FaultOp::kAny;
+  std::string phase;  ///< phase label filter; empty matches any phase
+  std::string label;  ///< kPoint probes only: fault_point label filter
+
+  /// Fire on the Nth matching probe (0 = the first one).
+  std::size_t after_calls = 0;
+
+  /// Alternative trigger: fire at the first matching probe whose virtual
+  /// time is >= at_time (enabled when >= 0). For kHubDegrade this is the
+  /// start of the degradation window.
+  double at_time = -1.0;
+
+  /// kDiskStall: time multiplier. kCorruptMessage/kCorruptRegion: maximum
+  /// bytes mutated. kHubDegrade: aggregate-bandwidth divisor.
+  double severity = 8.0;
+
+  /// kDiskStall only: keep stalling every later matching scan too
+  /// (a persistent straggler rather than a single hiccup).
+  bool persistent = false;
+
+  /// kHubDegrade only: window length in virtual seconds (< 0 = forever).
+  double duration = -1.0;
+};
+
+/// A reproducible failure schedule: seed + events. Value type; attach to a
+/// Cluster with Cluster::set_fault_plan. Convenience builders cover the
+/// common single-fault cases.
+struct FaultPlan {
+  std::uint64_t seed = 0x5eed;
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  static FaultEvent crash(std::size_t proc, FaultOp op,
+                          std::string phase = "",
+                          std::size_t after_calls = 0);
+  static FaultEvent crash_at_point(std::size_t proc, std::string label,
+                                   std::size_t after_calls = 0);
+  static FaultEvent crash_at_time(std::size_t proc, double at_time);
+  static FaultEvent disk_stall(std::size_t proc, double multiplier,
+                               std::string phase = "",
+                               bool persistent = true);
+  static FaultEvent corrupt_message(std::size_t dst, std::size_t src,
+                                    std::size_t after_calls = 0,
+                                    double max_bytes = 8.0);
+  static FaultEvent corrupt_region(std::size_t proc,
+                                   std::size_t after_calls = 0,
+                                   double max_bytes = 8.0);
+  static FaultEvent hub_degrade(double divisor, double from,
+                                double duration = -1.0);
+};
+
+/// Raised inside a simulated processor when a kCrash event fires. The
+/// cluster catches it, deregisters the processor from the barrier (so
+/// peers never deadlock) and reports the outcome as kCrashed.
+class ProcessorFailed : public std::runtime_error {
+ public:
+  ProcessorFailed(std::size_t processor, const std::string& site);
+  std::size_t processor() const { return processor_; }
+
+ private:
+  std::size_t processor_;
+};
+
+/// Per-run instantiation of a FaultPlan. Owned by Cluster::run; one fresh
+/// injector per run, so repeated runs of one cluster replay the identical
+/// schedule.
+///
+/// Thread-safety contract: probe() and corrupt_region_write() are called
+/// from the target processor's own thread and each event's trigger state
+/// is owned by that single thread (enforced by requiring an explicit
+/// processor on those kinds). corrupt_message() and hub_divisor() are
+/// called only from barrier folds, which are serialized by the barrier
+/// lock.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, std::size_t total_processors);
+
+  /// Probe an injection site. Throws ProcessorFailed when a crash event
+  /// fires; otherwise returns the combined disk-time multiplier of every
+  /// stall event active at this site (1.0 = none).
+  double probe(std::size_t proc, FaultOp op, const std::string& phase,
+               const std::string& label, double now);
+
+  /// Fold-side: maybe mutate a payload delivered src -> dst. Returns true
+  /// when the payload was corrupted (caller then saves the pristine copy
+  /// for retransmission).
+  bool corrupt_message(std::size_t dst, std::size_t src,
+                       std::vector<std::uint8_t>& payload);
+
+  /// Processor-side: maybe mutate the bytes of a raw region write.
+  bool corrupt_region_write(std::size_t proc, const std::string& phase,
+                            std::vector<std::uint8_t>& data);
+
+  /// Aggregate-bandwidth divisor active at virtual time `now` (>= 1.0).
+  double hub_divisor(double now);
+
+  /// Total faults injected so far (all kinds, all processors).
+  std::size_t injected() const;
+
+ private:
+  struct EventState {
+    FaultEvent event;
+    std::size_t hits = 0;
+    bool fired = false;
+  };
+
+  void mutate(std::vector<std::uint8_t>& bytes, std::size_t max_bytes,
+              Rng& rng);
+
+  std::vector<EventState> events_;
+  std::vector<Rng> proc_rng_;  ///< one stream per processor (crash sites,
+                               ///< region corruption)
+  Rng fold_rng_;               ///< fold-side draws (message corruption)
+  std::atomic<std::size_t> injected_{0};
+};
+
+}  // namespace eclat::mc

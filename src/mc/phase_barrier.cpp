@@ -1,28 +1,76 @@
 #include "mc/phase_barrier.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace eclat::mc {
 
 PhaseBarrier::PhaseBarrier(std::size_t participants)
-    : participants_(participants) {
+    : participants_(participants),
+      active_(participants),
+      failed_(participants, false) {
   if (participants == 0) {
     throw std::invalid_argument("barrier needs at least one participant");
   }
 }
 
+void PhaseBarrier::complete_generation_locked() {
+  // Complete the generation *before* running the hook, and notify even if
+  // the hook throws: a fold that raises (e.g. an SPMD contract violation)
+  // must not leave the other participants blocked forever.
+  auto hook = std::exchange(pending_hook_, nullptr);
+  waiting_ = 0;
+  ++generation_;
+  struct Notifier {
+    std::condition_variable& cv;
+    ~Notifier() { cv.notify_all(); }
+  } notifier{released_};
+  if (hook) hook();
+}
+
 void PhaseBarrier::arrive_and_wait(const std::function<void()>& on_last) {
   std::unique_lock lock(mutex_);
   const std::size_t my_generation = generation_;
-  if (++waiting_ == participants_) {
-    if (on_last) on_last();
-    waiting_ = 0;
-    ++generation_;
-    released_.notify_all();
+  if (!pending_hook_ && on_last) pending_hook_ = on_last;
+  if (++waiting_ == active_) {
+    complete_generation_locked();
     return;
   }
   released_.wait(lock,
                  [&] { return generation_ != my_generation; });
+}
+
+void PhaseBarrier::deregister(std::size_t participant) {
+  std::unique_lock lock(mutex_);
+  if (participant >= participants_ || failed_[participant]) return;
+  failed_[participant] = true;
+  --active_;
+  // If every surviving participant is already blocked at the barrier, the
+  // generation can never complete by arrival — finish it here, on the
+  // deregistering (crashing) thread, so the survivors release.
+  if (active_ > 0 && waiting_ == active_) {
+    complete_generation_locked();
+  }
+}
+
+void PhaseBarrier::reset() {
+  std::unique_lock lock(mutex_);
+  if (waiting_ != 0) {
+    throw std::logic_error("PhaseBarrier::reset with threads waiting");
+  }
+  active_ = participants_;
+  failed_.assign(participants_, false);
+  pending_hook_ = nullptr;
+}
+
+std::vector<bool> PhaseBarrier::failed_snapshot() const {
+  std::unique_lock lock(mutex_);
+  return failed_;
+}
+
+std::size_t PhaseBarrier::active() const {
+  std::unique_lock lock(mutex_);
+  return active_;
 }
 
 }  // namespace eclat::mc

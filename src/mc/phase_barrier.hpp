@@ -1,13 +1,23 @@
-// Reusable generation barrier with an on-last hook: the hook runs on the
-// final arriving thread, under the barrier's lock, before anyone is
-// released. Collectives use it to fold per-processor state (virtual
-// clocks, byte counters) deterministically at phase boundaries.
+// Reusable generation barrier with an on-last hook and failure epochs.
+//
+// The hook runs on the final arriving thread, under the barrier's lock,
+// before anyone is released. Collectives use it to fold per-processor
+// state (virtual clocks, byte counters) deterministically at phase
+// boundaries.
+//
+// Failure epochs: a participant that crashes calls deregister() instead of
+// ever arriving again. The barrier marks it failed, shrinks the active
+// count, and — if everyone else is already waiting — completes the
+// generation on the deregistering thread (running the pending fold), so a
+// crash can never deadlock the survivors. Folds observe the failed set via
+// failed_in_fold() and implement survivor-only semantics.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <mutex>
+#include <vector>
 
 namespace eclat::mc {
 
@@ -15,19 +25,46 @@ class PhaseBarrier {
  public:
   explicit PhaseBarrier(std::size_t participants);
 
-  /// Block until all participants arrive. `on_last` (if non-empty) runs
-  /// exactly once per generation, on the last arriving thread, while the
-  /// barrier lock is held — all other participants are still blocked.
+  /// Block until all *active* participants arrive. `on_last` (if
+  /// non-empty) runs exactly once per generation, while the barrier lock
+  /// is held — all other participants are still blocked. In SPMD use every
+  /// arriver passes the same logical hook; the first one's copy is the one
+  /// that runs (possibly on a deregistering thread, see deregister()).
   void arrive_and_wait(const std::function<void()>& on_last = {});
+
+  /// Permanently remove a participant (processor crash). Never blocks. If
+  /// the remaining active participants are all waiting, the pending
+  /// generation completes here: the stored hook runs on *this* thread and
+  /// the waiters release.
+  void deregister(std::size_t participant);
+
+  /// Restore all participants to active (start of a fresh cluster run).
+  /// Must not be called while any thread is waiting.
+  void reset();
+
+  /// The failed set, readable without synchronization only from inside an
+  /// on_last hook (the barrier lock is held there).
+  const std::vector<bool>& failed_in_fold() const { return failed_; }
+
+  /// Locked copy of the failed set, callable from anywhere.
+  std::vector<bool> failed_snapshot() const;
 
   std::size_t participants() const { return participants_; }
 
+  /// Participants still active (not deregistered). Locked.
+  std::size_t active() const;
+
  private:
+  void complete_generation_locked();
+
   const std::size_t participants_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable released_;
   std::size_t waiting_ = 0;
   std::size_t generation_ = 0;
+  std::size_t active_;
+  std::vector<bool> failed_;
+  std::function<void()> pending_hook_;
 };
 
 }  // namespace eclat::mc

@@ -24,6 +24,8 @@ const char* to_string(TraceKind kind) {
       return "barrier";
     case TraceKind::kMark:
       return "mark";
+    case TraceKind::kFault:
+      return "fault";
   }
   ECLAT_UNREACHABLE("invalid TraceKind");
 }

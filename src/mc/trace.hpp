@@ -21,6 +21,8 @@ enum class TraceKind : std::uint8_t {
   kCompute,  ///< a compute section (detail = nanoseconds of CPU)
   kBarrier,
   kMark,     ///< free-form annotation
+  kFault,    ///< injected fault or failure-handling action (crash,
+             ///< disk-stall, corrupt payload, retransmit, recovery step)
 };
 
 const char* to_string(TraceKind kind);

@@ -52,7 +52,7 @@ ParallelOutput candidate_distribution(
   const std::uint64_t mc_bytes_before = cluster.channel().total_bytes();
   const std::uint64_t mc_msgs_before = cluster.channel().total_messages();
 
-  cluster.run([&](mc::Processor& self) {
+  output.run_report = cluster.run([&](mc::Processor& self) {
     const mc::Topology& topology = self.topology();
     const std::size_t me = self.id();
     const std::span<const Transaction> block =

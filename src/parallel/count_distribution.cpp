@@ -20,7 +20,7 @@ ParallelOutput count_distribution(mc::Cluster& cluster,
   const std::uint64_t mc_bytes_before = cluster.channel().total_bytes();
   const std::uint64_t mc_msgs_before = cluster.channel().total_messages();
 
-  cluster.run([&](mc::Processor& self) {
+  output.run_report = cluster.run([&](mc::Processor& self) {
     const mc::Topology& topology = self.topology();
     const std::span<const Transaction> local =
         local_partition(db, topology, self.id());

@@ -70,7 +70,7 @@ ParallelOutput hybrid_eclat(mc::Cluster& cluster,
   const std::uint64_t mc_bytes_before = cluster.channel().total_bytes();
   const std::uint64_t mc_msgs_before = cluster.channel().total_messages();
 
-  cluster.run([&](mc::Processor& self) {
+  output.run_report = cluster.run([&](mc::Processor& self) {
     const std::size_t me = self.id();
     const std::size_t host = self.host();
     const std::size_t slot = topology.slot_of(me);
@@ -294,7 +294,7 @@ ParallelOutput hybrid_count_distribution(
   const std::uint64_t mc_bytes_before = cluster.channel().total_bytes();
   const std::uint64_t mc_msgs_before = cluster.channel().total_messages();
 
-  cluster.run([&](mc::Processor& self) {
+  output.run_report = cluster.run([&](mc::Processor& self) {
     const std::size_t me = self.id();
     const std::size_t host = self.host();
     const std::size_t slot = topology.slot_of(me);

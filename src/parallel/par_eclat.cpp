@@ -1,11 +1,15 @@
 #include "parallel/par_eclat.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <mutex>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "apriori/apriori.hpp"
 #include "common/check.hpp"
+#include "data/result_io.hpp"
+#include "parallel/recovery.hpp"
 #include "parallel/wire.hpp"
 #include "vertical/tidlist.hpp"
 #include "vertical/vertical_db.hpp"
@@ -33,6 +37,45 @@ std::vector<std::size_t> make_schedule(
   }
 }
 
+std::vector<std::size_t> survivors_of(const std::vector<bool>& failed) {
+  std::vector<std::size_t> alive;
+  for (std::size_t p = 0; p < failed.size(); ++p) {
+    if (!failed[p]) alive.push_back(p);
+  }
+  return alive;
+}
+
+/// Open a sealed all-to-all payload; on checksum failure fetch the
+/// pristine copy from the sender's transmit buffer (one modeled
+/// retransmission) and retry. The frame must then open — a pristine
+/// payload failing validation is a protocol bug, not an injected fault.
+mc::Blob open_exchange_payload(mc::Processor& self, std::size_t src,
+                               mc::Blob blob) {
+  if (!wire::open_frame(blob)) {
+    blob = self.retransmit(src);
+    const wire::FrameResult retry = wire::open_frame(blob);
+    if (!retry) {
+      throw std::runtime_error("exchange payload from processor " +
+                               std::to_string(src) +
+                               " unrecoverable: " + retry.error);
+    }
+  }
+  return blob;
+}
+
+/// Per-class result checkpoint payload (the existing ECLATRES result
+/// format, so recovery reuses result_io end to end).
+mc::Blob checkpoint_bytes(const std::vector<FrequentItemset>& itemsets) {
+  MiningResult partial;
+  partial.itemsets = itemsets;
+  return result_to_bytes(partial);
+}
+
+std::vector<FrequentItemset> itemsets_from_checkpoint(
+    std::span<const std::uint8_t> payload) {
+  return result_from_bytes({payload.begin(), payload.end()}).itemsets;
+}
+
 }  // namespace
 
 ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
@@ -46,11 +89,18 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
   std::vector<double> init_end(total, 0.0);
   std::vector<double> transform_end(total, 0.0);
   std::vector<double> async_end(total, 0.0);
+  std::vector<double> reduction_end(total, 0.0);
+  std::atomic<bool> recovery_ran{false};
+
+  // Replicated recovery state (Memory Channel receive regions are
+  // replicated on every node — see recovery.hpp): tid-list images of every
+  // size >= 2 class and per-class result checkpoints.
+  parallel::RecoveryStore store;
 
   const std::uint64_t mc_bytes_before = cluster.channel().total_bytes();
   const std::uint64_t mc_msgs_before = cluster.channel().total_messages();
 
-  cluster.run([&](mc::Processor& self) {
+  output.run_report = cluster.run([&](mc::Processor& self) {
     const mc::Topology& topology = self.topology();
     const std::size_t me = self.id();
     const std::span<const Transaction> local =
@@ -63,14 +113,92 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
     self.disk_read(local_bytes);
     self.compute([&] { counter.count(local); });
 
+    const std::size_t items_len =
+        config.include_singletons ? db.num_items() : 0;
     std::vector<Count> item_counts;
+    std::vector<bool> item_fold_failed;
     if (config.include_singletons) {
       item_counts =
           self.compute([&] { return count_items(local, db.num_items()); });
       self.sum_reduce(item_counts, mc::Processor::ReduceScheme::kTree);
+      item_fold_failed = self.failed_snapshot();
     }
     // One-time reduction: the O(log P) scheme of the paper's footnote 2.
     self.sum_reduce(counter.raw(), mc::Processor::ReduceScheme::kTree);
+    std::vector<bool> pair_fold_failed = self.failed_snapshot();
+    if (!config.include_singletons) item_fold_failed = pair_fold_failed;
+
+    // Count repair: a processor that crashed before contributing to a
+    // reduction leaves its partition out of the totals. Its partition is
+    // still on its host's disk, so survivors re-scan it and fold the
+    // missing counts in through extra (survivor-only) tree reductions,
+    // repeating if a repairer itself dies mid-round. Afterwards the global
+    // L2 — and hence classes, weights and schedule — equals the
+    // fault-free run's.
+    std::vector<bool> pair_covered(total), item_covered(total);
+    for (std::size_t p = 0; p < total; ++p) {
+      pair_covered[p] = !pair_fold_failed[p];
+      item_covered[p] = !item_fold_failed[p];
+    }
+    const std::size_t tri_len = counter.raw().size();
+    while (true) {
+      std::vector<std::size_t> missing;
+      for (std::size_t p = 0; p < total; ++p) {
+        if (!pair_covered[p] || !item_covered[p]) missing.push_back(p);
+      }
+      if (missing.empty()) break;
+
+      const std::vector<bool> failed = self.failed_snapshot();
+      const std::vector<std::size_t> alive = survivors_of(failed);
+      std::vector<std::size_t> repairer(total, total);
+      for (std::size_t i = 0; i < missing.size(); ++i) {
+        repairer[missing[i]] = alive[i % alive.size()];
+      }
+
+      // Triangle and item deltas concatenated: one reduction per round.
+      std::vector<Count> delta(tri_len + items_len, 0);
+      for (const std::size_t dead : missing) {
+        if (repairer[dead] != me) continue;
+        const std::span<const Transaction> part =
+            local_partition(db, topology, dead);
+        self.disk_read(partition_bytes(part), 1);
+        self.compute([&] {
+          if (!pair_covered[dead]) {
+            TriangleCounter recount(std::max<Item>(db.num_items(), 2));
+            recount.count(part);
+            const std::span<const Count> raw = recount.raw();
+            for (std::size_t i = 0; i < tri_len; ++i) delta[i] += raw[i];
+          }
+          if (items_len > 0 && !item_covered[dead]) {
+            const std::vector<Count> recount =
+                count_items(part, db.num_items());
+            for (std::size_t i = 0; i < items_len; ++i) {
+              delta[tri_len + i] += recount[i];
+            }
+          }
+        });
+        self.mark("count-repair", dead);
+      }
+      self.sum_reduce(delta, mc::Processor::ReduceScheme::kTree);
+      const std::vector<bool> after = self.failed_snapshot();
+
+      // The reduced delta holds exactly the partitions whose repairer was
+      // alive at the fold; apply it once and mark those covered. A dead
+      // repairer's partitions go around again.
+      self.compute([&] {
+        const std::span<Count> raw = counter.raw();
+        for (std::size_t i = 0; i < tri_len; ++i) raw[i] += delta[i];
+        for (std::size_t i = 0; i < items_len; ++i) {
+          item_counts[i] += delta[tri_len + i];
+        }
+      });
+      for (const std::size_t dead : missing) {
+        if (!after[repairer[dead]]) {
+          pair_covered[dead] = true;
+          item_covered[dead] = true;
+        }
+      }
+    }
     self.phase_end("initialization");
     init_end[me] = self.now();
 
@@ -78,13 +206,16 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
     self.phase_begin("transformation");
     // Every processor derives the same L2, classes and schedule from the
     // global counts (paper §5.2.1: "done concurrently on all the
-    // processors since all of them have access to the global L2").
+    // processors since all of them have access to the global L2"). The
+    // schedule is always computed over all T processors — including ones
+    // that already failed — so class ids, weights and the fault-free
+    // ownership are identical in every run; failures only relocate work.
     struct Plan {
       std::vector<PairKey> frequent_pairs;
       std::vector<EquivalenceClass> classes;
       std::vector<std::size_t> assignment;
       std::vector<PairKey> exchanged_pairs;  // pairs in classes of size >= 2
-      std::unordered_map<PairKey, std::size_t> owner_of;
+      std::unordered_map<PairKey, std::size_t> class_of;
     };
     Plan plan = self.compute([&] {
       Plan p;
@@ -97,7 +228,7 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
         // 2-itemsets are already globally counted, so no tid-lists move.
         if (p.classes[c].size() < 2) continue;
         for (PairKey key : p.classes[c].pair_keys()) {
-          p.owner_of.emplace(key, p.assignment[c]);
+          p.class_of.emplace(key, c);
           p.exchanged_pairs.push_back(key);
         }
       }
@@ -109,60 +240,170 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
     std::unordered_map<PairKey, TidList> partial = self.compute(
         [&] { return invert_pairs(local, plan.exchanged_pairs); });
 
-    // Route each partial list to its class owner. Pairs are serialized in
-    // the global (class, member) order so receivers can merge partial
-    // lists per source in one pass.
-    std::vector<mc::Blob> outgoing(total);
-    self.compute([&] {
-      std::vector<wire::Writer> writers(total);
-      for (PairKey key : plan.exchanged_pairs) {
-        const std::size_t owner = plan.owner_of.at(key);
-        writers[owner].put(key);
-        writers[owner].put_vector(partial.at(key));
-      }
-      for (std::size_t dst = 0; dst < total; ++dst) {
-        outgoing[dst] = writers[dst].take();
-      }
-    });
-    std::vector<mc::Blob> incoming = self.all_to_all(std::move(outgoing));
-
-    // Merge in source order: the database is block-partitioned, so source
-    // p's tids all precede source p+1's — concatenation is already the
-    // lexicographically sorted global tid-list (paper §6.3).
+    // The tid-list exchange, structured as a redo-until-committed loop so
+    // crashes at any point inside it stay recoverable:
+    //   1. snapshot the failed set F; reassign dead owners' classes
+    //      greedily among the survivors, and hand each dead processor's
+    //      *partition* to a survivor, which re-scans it from the host disk;
+    //   2. all_to_all partition-TAGGED, CRC-sealed sections (a repairer
+    //      sends the dead partition's sections under the dead id, so
+    //      receivers merge partitions in ascending order regardless of who
+    //      sent them — and a partition is never sent twice in one round);
+    //   3. merge, store the owned classes' tid-list images in the
+    //      replicated store, then a commit barrier;
+    //   4. if the failed set after the commit still equals F, the round is
+    //      committed; otherwise someone died mid-round — redo. Each redo
+    //      loses at least one processor, so at most T rounds run, and the
+    //      fault-free path is exactly one round plus one cheap barrier.
     std::unordered_map<PairKey, TidList> my_lists;
+    std::vector<std::size_t> class_owner;
     std::size_t vertical_bytes = 0;
-    self.compute([&] {
-      for (std::size_t src = 0; src < total; ++src) {
-        wire::Reader reader(incoming[src]);
-        while (!reader.done()) {
-          const auto key = reader.get<PairKey>();
-          const std::vector<Tid> tids = reader.get_vector<Tid>();
-          TidList& list = my_lists[key];
-          list.insert(list.end(), tids.begin(), tids.end());
+    std::vector<bool> commit_failed;
+    while (true) {
+      const std::vector<bool> failed = self.failed_snapshot();
+      const std::vector<std::size_t> alive = survivors_of(failed);
+
+      // Final ownership this round: survivors keep their fault-free
+      // classes; dead owners' classes are re-placed greedily by weight.
+      class_owner = plan.assignment;
+      std::vector<std::size_t> orphaned;
+      for (std::size_t c = 0; c < plan.classes.size(); ++c) {
+        if (failed[class_owner[c]]) orphaned.push_back(c);
+      }
+      if (!orphaned.empty()) {
+        std::vector<std::size_t> weights(orphaned.size());
+        for (std::size_t i = 0; i < orphaned.size(); ++i) {
+          weights[i] = plan.classes[orphaned[i]].weight();
+        }
+        const std::vector<std::size_t> placement =
+            schedule_greedy_by_weight(weights, alive.size());
+        for (std::size_t i = 0; i < orphaned.size(); ++i) {
+          class_owner[orphaned[i]] = alive[placement[i]];
         }
       }
-      for (const auto& [key, list] : my_lists) {
-        // Block partitioning means source order == tid order; if this ever
-        // breaks, every downstream intersection is silently wrong.
-        ECLAT_DCHECK(is_valid_tidlist(list));
-        vertical_bytes += sizeof(PairKey) + list.size() * sizeof(Tid);
+
+      // Dead partitions round-robin over survivors for re-scanning.
+      std::vector<std::size_t> partition_source(total);
+      std::size_t next = 0;
+      for (std::size_t q = 0; q < total; ++q) {
+        partition_source[q] = failed[q] ? alive[next++ % alive.size()] : q;
       }
-    });
-    // The merged global tid-lists of the local classes go to local disk
-    // (those of remote classes were never materialized here).
-    self.disk_write(vertical_bytes);
+      std::unordered_map<std::size_t, std::unordered_map<PairKey, TidList>>
+          repaired;
+      for (std::size_t q = 0; q < total; ++q) {
+        if (!failed[q] || partition_source[q] != me) continue;
+        const std::span<const Transaction> part =
+            local_partition(db, topology, q);
+        self.disk_read(partition_bytes(part), 1);
+        repaired[q] =
+            self.compute([&] { return invert_pairs(part, plan.exchanged_pairs); });
+        self.mark("partition-repair", q);
+      }
+
+      // Route each partition's sections to the class owners, tagged with
+      // the source *partition* id and CRC-sealed.
+      std::vector<mc::Blob> outgoing(total);
+      self.compute([&] {
+        std::vector<wire::Writer> writers(total);
+        for (std::size_t q = 0; q < total; ++q) {
+          const bool mine_own = q == me;
+          const bool mine_repaired = failed[q] && partition_source[q] == me;
+          if (!mine_own && !mine_repaired) continue;
+          const auto& lists = mine_own ? partial : repaired.at(q);
+          for (PairKey key : plan.exchanged_pairs) {
+            const std::size_t owner = class_owner[plan.class_of.at(key)];
+            writers[owner].put<std::uint64_t>(q);
+            writers[owner].put(key);
+            writers[owner].put_vector(lists.at(key));
+          }
+        }
+        for (std::size_t dst = 0; dst < total; ++dst) {
+          if (!failed[dst]) {
+            outgoing[dst] = wire::seal_frame(writers[dst].take());
+          }
+        }
+      });
+      std::vector<mc::Blob> incoming = self.all_to_all(std::move(outgoing));
+      const std::vector<bool> a2a_failed = self.failed_snapshot();
+
+      // Decode (checksum-validated, with retransmission on corruption) and
+      // merge sections per pair in ascending partition order: the database
+      // is block-partitioned, so that concatenation is the globally sorted
+      // tid-list (paper §6.3).
+      my_lists.clear();
+      vertical_bytes = 0;
+      self.compute([&] {
+        std::unordered_map<PairKey,
+                           std::vector<std::pair<std::uint64_t, TidList>>>
+            sections;
+        for (std::size_t src = 0; src < total; ++src) {
+          if (a2a_failed[src]) continue;
+          const mc::Blob blob =
+              open_exchange_payload(self, src, std::move(incoming[src]));
+          wire::Reader reader(wire::open_frame(blob).payload);
+          while (!reader.done()) {
+            const auto partition = reader.get<std::uint64_t>();
+            const auto key = reader.get<PairKey>();
+            sections[key].emplace_back(partition, reader.get_vector<Tid>());
+          }
+        }
+        for (auto& [key, parts] : sections) {
+          std::sort(parts.begin(), parts.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first < b.first;
+                    });
+          TidList& list = my_lists[key];
+          for (auto& [partition, tids] : parts) {
+            list.insert(list.end(), tids.begin(), tids.end());
+          }
+          // Block partitioning means partition order == tid order; if this
+          // ever breaks, every downstream intersection is silently wrong.
+          ECLAT_DCHECK(is_valid_tidlist(list));
+          vertical_bytes += sizeof(PairKey) + list.size() * sizeof(Tid);
+        }
+      });
+      // The merged global tid-lists of the local classes go to local disk
+      // (those of remote classes were never materialized here) — and their
+      // sealed images into the replicated store, which is what makes a
+      // later owner crash recoverable.
+      self.disk_write(vertical_bytes);
+      std::size_t image_bytes = 0;
+      self.compute([&] {
+        for (std::size_t c = 0; c < plan.classes.size(); ++c) {
+          if (plan.classes[c].size() < 2 || class_owner[c] != me) continue;
+          wire::Writer image;
+          for (PairKey key : plan.classes[c].pair_keys()) {
+            image.put(key);
+            image.put_vector(my_lists.at(key));
+          }
+          mc::Blob sealed = wire::seal_frame(image.take());
+          image_bytes += sealed.size();
+          store.put_tidlists(c, std::move(sealed));
+        }
+      });
+      self.disk_write(image_bytes);
+
+      self.barrier();  // commit point
+      commit_failed = self.failed_snapshot();
+      if (commit_failed == failed) break;
+      self.mark("exchange-redo");
+    }
     self.phase_end("transformation");
     transform_end[me] = self.now();
 
     // ----- Phase 3: asynchronous (third scan; zero communication). -----
+    // Each class is checkpointed as it finishes: a crash loses at most the
+    // class being mined, never a completed one (checkpoints are whole-class
+    // and written only after the class's mining returns).
     self.phase_begin("asynchronous");
     self.disk_read(vertical_bytes);
     std::vector<FrequentItemset> found;
-    self.compute([&] {
-      std::vector<std::size_t> histogram;
-      for (std::size_t c = 0; c < plan.classes.size(); ++c) {
-        const EquivalenceClass& eq_class = plan.classes[c];
-        if (eq_class.size() < 2 || plan.assignment[c] != me) continue;
+    std::vector<std::size_t> histogram;
+    for (std::size_t c = 0; c < plan.classes.size(); ++c) {
+      const EquivalenceClass& eq_class = plan.classes[c];
+      if (eq_class.size() < 2 || class_owner[c] != me) continue;
+      std::vector<FrequentItemset> class_found;
+      self.compute([&] {
         std::vector<Atom> atoms;
         atoms.reserve(eq_class.size());
         for (Item member : eq_class.members) {
@@ -170,10 +411,17 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
           atoms.push_back(Atom{{eq_class.prefix, member},
                                std::move(my_lists.at(key))});
         }
-        compute_frequent(atoms, config.minsup, config.kernel, found,
+        compute_frequent(atoms, config.minsup, config.kernel, class_found,
                          histogram);
-      }
-    });
+      });
+      mc::Blob sealed = wire::seal_frame(checkpoint_bytes(class_found));
+      self.disk_write(sealed.size());
+      store.put_result(c, std::move(sealed));
+      self.fault_point("class-checkpointed");
+      found.insert(found.end(),
+                   std::make_move_iterator(class_found.begin()),
+                   std::make_move_iterator(class_found.end()));
+    }
     self.phase_end("asynchronous");
     async_end[me] = self.now();
 
@@ -187,10 +435,104 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
         writer.put<Count>(f.support);
       }
     });
-    std::vector<mc::Blob> gathered = self.all_gather(writer.take());
+    std::vector<mc::Blob> gathered =
+        self.all_gather(wire::seal_frame(writer.take()));
+    const std::vector<bool> gather_failed = self.failed_snapshot();
     self.phase_end("reduction");
+    reduction_end[me] = self.now();
 
-    if (me == 0) {
+    // ----- Recovery: processors that died after the exchange committed
+    // leave owned classes unaccounted. Their *finished* classes are read
+    // back from result checkpoints; their unfinished ones are re-mined by
+    // survivors from the replicated tid-list images (greedy reassignment
+    // by the same C(s,2) weights) and folded in through extra survivor
+    // gathers. The union is byte-identical to the fault-free output. -----
+    std::vector<std::size_t> new_failed;
+    for (std::size_t p = 0; p < total; ++p) {
+      if (gather_failed[p] && !commit_failed[p]) new_failed.push_back(p);
+    }
+    std::vector<std::vector<mc::Blob>> recovery_gathers;
+    std::vector<std::vector<bool>> recovery_snapshots;
+    std::vector<bool> final_failed = gather_failed;
+    if (!new_failed.empty()) {
+      recovery_ran.store(true, std::memory_order_relaxed);
+      self.phase_begin("recovery");
+      std::vector<std::size_t> unfinished;
+      for (std::size_t c = 0; c < plan.classes.size(); ++c) {
+        if (plan.classes[c].size() < 2) continue;
+        const std::size_t owner = class_owner[c];
+        if (gather_failed[owner] && !commit_failed[owner] &&
+            !store.has_result(c)) {
+          unfinished.push_back(c);
+        }
+      }
+      while (!unfinished.empty()) {
+        const std::vector<std::size_t> alive = survivors_of(final_failed);
+        std::vector<std::size_t> weights(unfinished.size());
+        for (std::size_t i = 0; i < unfinished.size(); ++i) {
+          weights[i] = plan.classes[unfinished[i]].weight();
+        }
+        const std::vector<std::size_t> placement =
+            schedule_greedy_by_weight(weights, alive.size());
+
+        wire::Writer recovered;
+        for (std::size_t i = 0; i < unfinished.size(); ++i) {
+          const std::size_t c = unfinished[i];
+          if (alive[placement[i]] != me) continue;
+          const std::optional<mc::Blob> image = store.tidlists(c);
+          if (!image) {
+            throw std::runtime_error(
+                "recovery: no tid-list image for a committed class");
+          }
+          self.disk_read(image->size(), 1);
+          const wire::FrameResult frame = wire::open_frame(*image);
+          if (!frame) {
+            throw std::runtime_error("recovery: corrupt tid-list image: " +
+                                     frame.error);
+          }
+          std::vector<FrequentItemset> class_found;
+          self.compute([&] {
+            wire::Reader reader(frame.payload);
+            std::vector<Atom> atoms;
+            while (!reader.done()) {
+              const auto key = reader.get<PairKey>();
+              atoms.push_back(Atom{{pair_first(key), pair_second(key)},
+                                   reader.get_vector<Tid>()});
+            }
+            std::vector<std::size_t> recovery_histogram;
+            compute_frequent(atoms, config.minsup, config.kernel,
+                             class_found, recovery_histogram);
+          });
+          recovered.put<std::uint64_t>(c);
+          recovered.put_vector(checkpoint_bytes(class_found));
+          self.mark("class-recovered", c);
+        }
+        recovery_gathers.push_back(
+            self.all_gather(wire::seal_frame(recovered.take())));
+        recovery_snapshots.push_back(self.failed_snapshot());
+        const std::vector<bool>& after = recovery_snapshots.back();
+
+        // Classes whose re-miner survived the gather are recovered; the
+        // rest (their miner died mid-recovery) go around again.
+        std::vector<std::size_t> remaining;
+        for (std::size_t i = 0; i < unfinished.size(); ++i) {
+          if (after[alive[placement[i]]]) remaining.push_back(unfinished[i]);
+        }
+        unfinished = std::move(remaining);
+        final_failed = after;
+      }
+      self.phase_end("recovery");
+    }
+
+    // ----- Assembly on the lowest-id survivor. -----
+    std::size_t root = total;
+    for (std::size_t p = 0; p < total; ++p) {
+      if (!final_failed[p]) {
+        root = p;
+        break;
+      }
+    }
+    if (me == root) {
       MiningResult result;
       result.database_scans = 3;  // two horizontal scans + vertical read
       if (config.include_singletons) {
@@ -206,14 +548,60 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
             {pair_first(key), pair_second(key)},
             counter.get(pair_first(key), pair_second(key))});
       }
-      for (const mc::Blob& blob : gathered) {
-        wire::Reader reader(blob);
+      // Survivors' mined classes, from the reduction gather.
+      for (std::size_t src = 0; src < total; ++src) {
+        if (gather_failed[src]) continue;
+        const wire::FrameResult frame = wire::open_frame(gathered[src]);
+        if (!frame) {
+          throw std::runtime_error("reduction payload corrupt: " +
+                                   frame.error);
+        }
+        wire::Reader reader(frame.payload);
         const auto count = reader.get<std::uint64_t>();
         for (std::uint64_t i = 0; i < count; ++i) {
           FrequentItemset f;
           f.items = reader.get_vector<Item>();
           f.support = reader.get<Count>();
           result.itemsets.push_back(std::move(f));
+        }
+      }
+      // Finished classes of processors that died after the commit, from
+      // their result checkpoints.
+      for (const std::size_t dead : new_failed) {
+        for (std::size_t c = 0; c < plan.classes.size(); ++c) {
+          if (plan.classes[c].size() < 2 || class_owner[c] != dead) continue;
+          const std::optional<mc::Blob> checkpoint = store.result(c);
+          if (!checkpoint) continue;  // unfinished: re-mined below
+          const wire::FrameResult frame = wire::open_frame(*checkpoint);
+          if (!frame) {
+            throw std::runtime_error("result checkpoint corrupt: " +
+                                     frame.error);
+          }
+          for (FrequentItemset& f : itemsets_from_checkpoint(frame.payload)) {
+            result.itemsets.push_back(std::move(f));
+          }
+        }
+      }
+      // Re-mined classes, from the recovery gathers.
+      for (std::size_t round = 0; round < recovery_gathers.size(); ++round) {
+        const std::vector<bool>& round_failed = recovery_snapshots[round];
+        for (std::size_t src = 0; src < total; ++src) {
+          if (round_failed[src]) continue;
+          const wire::FrameResult frame =
+              wire::open_frame(recovery_gathers[round][src]);
+          if (!frame) {
+            throw std::runtime_error("recovery payload corrupt: " +
+                                     frame.error);
+          }
+          wire::Reader reader(frame.payload);
+          while (!reader.done()) {
+            reader.get<std::uint64_t>();  // class id (trace/debug aid)
+            const auto bytes = reader.get_vector<std::uint8_t>();
+            for (FrequentItemset& f : itemsets_from_checkpoint(
+                     {bytes.data(), bytes.size()})) {
+              result.itemsets.push_back(std::move(f));
+            }
+          }
         }
       }
       normalize(result);
@@ -230,11 +618,18 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
       *std::max_element(transform_end.begin(), transform_end.end());
   const double t_async =
       *std::max_element(async_end.begin(), async_end.end());
+  const double t_reduction =
+      *std::max_element(reduction_end.begin(), reduction_end.end());
   output.total_seconds = cluster.makespan();
   output.phase_seconds["initialization"] = t_init;
   output.phase_seconds["transformation"] = t_transform - t_init;
   output.phase_seconds["asynchronous"] = t_async - t_transform;
-  output.phase_seconds["reduction"] = output.total_seconds - t_async;
+  if (recovery_ran.load(std::memory_order_relaxed)) {
+    output.phase_seconds["reduction"] = t_reduction - t_async;
+    output.phase_seconds["recovery"] = output.total_seconds - t_reduction;
+  } else {
+    output.phase_seconds["reduction"] = output.total_seconds - t_async;
+  }
   output.mc_bytes = cluster.channel().total_bytes() - mc_bytes_before;
   output.mc_messages = cluster.channel().total_messages() - mc_msgs_before;
   return output;

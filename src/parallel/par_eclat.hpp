@@ -16,6 +16,18 @@
 //      tid-list intersections. No communication, no synchronization; the
 //      third and final scan reads the class tid-lists back from local disk.
 //   4. Final reduction — gather every processor's discoveries.
+//
+// Crash recovery (beyond the paper; see DESIGN.md §5): every phase
+// tolerates processor crashes injected via a cluster FaultPlan. Lost
+// partition counts are re-counted by survivors and repaired with a
+// delta-reduction; the tid-list exchange is redone until a commit
+// barrier sees no new failures (dead processors' partitions re-scanned,
+// their classes reassigned by the same greedy weights); each mined class
+// is checkpointed in replicated receive regions, so after the final
+// gather survivors re-mine only the dead processors' *unfinished*
+// classes. The mined itemsets are byte-identical to the fault-free run;
+// the recovery cost appears in the virtual-time makespan (and, when
+// recovery ran, in a fifth "recovery" entry of phase_seconds).
 #pragma once
 
 #include "eclat/compute_frequent.hpp"

@@ -15,6 +15,11 @@ namespace eclat::par {
 struct ParallelOutput {
   MiningResult result;
 
+  /// Per-processor outcome of the run (all kFinished unless a fault plan
+  /// injected crashes; the mined result is complete either way as long as
+  /// at least one processor survives).
+  mc::RunReport run_report;
+
   double total_seconds = 0.0;  ///< makespan (max final virtual clock)
   /// Named phase durations; for Eclat: "initialization", "transformation",
   /// "asynchronous", "reduction". "setup" = initialization+transformation

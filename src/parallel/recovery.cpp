@@ -1,0 +1,58 @@
+#include "parallel/recovery.hpp"
+
+#include <algorithm>
+
+namespace eclat::parallel {
+
+void RecoveryStore::put_tidlists(std::size_t class_id, mc::Blob sealed) {
+  std::lock_guard lock(mutex_);
+  tidlists_[class_id] = std::move(sealed);
+}
+
+std::optional<mc::Blob> RecoveryStore::tidlists(std::size_t class_id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = tidlists_.find(class_id);
+  if (it == tidlists_.end()) return std::nullopt;
+  return it->second;
+}
+
+void RecoveryStore::put_result(std::size_t class_id, mc::Blob sealed) {
+  std::lock_guard lock(mutex_);
+  results_[class_id] = std::move(sealed);
+}
+
+std::optional<mc::Blob> RecoveryStore::result(std::size_t class_id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = results_.find(class_id);
+  if (it == results_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool RecoveryStore::has_result(std::size_t class_id) const {
+  std::lock_guard lock(mutex_);
+  return results_.count(class_id) != 0;
+}
+
+std::vector<std::size_t> RecoveryStore::checkpointed_classes() const {
+  std::vector<std::size_t> ids;
+  {
+    std::lock_guard lock(mutex_);
+    ids.reserve(results_.size());
+    for (const auto& [class_id, blob] : results_) ids.push_back(class_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::size_t RecoveryStore::tidlist_count() const {
+  std::lock_guard lock(mutex_);
+  return tidlists_.size();
+}
+
+void RecoveryStore::clear() {
+  std::lock_guard lock(mutex_);
+  tidlists_.clear();
+  results_.clear();
+}
+
+}  // namespace eclat::parallel

@@ -1,0 +1,65 @@
+// Replicated recovery state for crash-tolerant Parallel Eclat.
+//
+// On the real machine this state needs no extra machinery: Memory Channel
+// receive regions are *replicated on every node* (a multicast write lands
+// in each mapped copy), and the exchanged tid-lists land on the owner's
+// local disk. A surviving node therefore already holds, or can re-read,
+// everything a failed peer was working on. The simulation models that with
+// one shared RecoveryStore per run:
+//
+//   - tid-list images: the per-class atom payloads produced by the
+//     transformation phase's exchange, keyed by equivalence-class id;
+//   - result checkpoints: the frequent itemsets of each equivalence class,
+//     written as the class finishes mining.
+//
+// Entries are whole-class and immutable once written (a checkpoint happens
+// strictly after its class's mining completes), so a crash can never leave
+// a torn entry: a class is either fully checkpointed or re-mined from its
+// tid-list image. Blobs are stored sealed (wire::seal_frame), so a reader
+// validates the CRC before trusting recovered bytes.
+//
+// The store itself is cost-free; callers charge the simulated disk writes
+// and region traffic through the Processor they run on.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "mc/cluster.hpp"
+
+namespace eclat::parallel {
+
+class RecoveryStore {
+ public:
+  /// Record the sealed tid-list image of an equivalence class (called by
+  /// the class's owner after the exchange round commits).
+  void put_tidlists(std::size_t class_id, mc::Blob sealed);
+
+  /// Sealed tid-list image of a class, if any survivor retained one.
+  std::optional<mc::Blob> tidlists(std::size_t class_id) const;
+
+  /// Record the sealed result checkpoint of a fully-mined class.
+  void put_result(std::size_t class_id, mc::Blob sealed);
+
+  std::optional<mc::Blob> result(std::size_t class_id) const;
+
+  /// True when the class's result checkpoint exists.
+  bool has_result(std::size_t class_id) const;
+
+  /// Ids of all checkpointed classes, ascending.
+  std::vector<std::size_t> checkpointed_classes() const;
+
+  std::size_t tidlist_count() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::size_t, mc::Blob> tidlists_;
+  std::unordered_map<std::size_t, mc::Blob> results_;
+};
+
+}  // namespace eclat::parallel

@@ -1,0 +1,74 @@
+#include "parallel/wire.hpp"
+
+#include <array>
+
+namespace eclat::wire {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint8_t byte : bytes) {
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+mc::Blob seal_frame(const mc::Blob& payload) {
+  Writer writer;
+  writer.put<std::uint32_t>(kFrameMagic);
+  writer.put<std::uint64_t>(payload.size());
+  writer.put<std::uint32_t>(crc32({payload.data(), payload.size()}));
+  mc::Blob frame = writer.take();
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+FrameResult open_frame(const mc::Blob& frame) {
+  FrameResult result;
+  if (frame.size() < kFrameHeaderBytes) {
+    result.error = "frame shorter than header (" +
+                   std::to_string(frame.size()) + " bytes)";
+    return result;
+  }
+  Reader reader(frame);
+  const auto magic = reader.get<std::uint32_t>();
+  const auto length = reader.get<std::uint64_t>();
+  const auto checksum = reader.get<std::uint32_t>();
+  if (magic != kFrameMagic) {
+    result.error = "bad frame magic";
+    return result;
+  }
+  if (length != frame.size() - kFrameHeaderBytes) {
+    result.error = "frame length mismatch: header says " +
+                   std::to_string(length) + ", have " +
+                   std::to_string(frame.size() - kFrameHeaderBytes);
+    return result;
+  }
+  const std::span<const std::uint8_t> payload{
+      frame.data() + kFrameHeaderBytes, static_cast<std::size_t>(length)};
+  if (crc32(payload) != checksum) {
+    result.error = "frame checksum mismatch";
+    return result;
+  }
+  result.ok = true;
+  result.payload = payload;
+  return result;
+}
+
+}  // namespace eclat::wire

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
@@ -59,11 +60,13 @@ class Writer {
   mc::Blob blob_;
 };
 
-/// Sequential reader over a received blob; throws wire::Error on underrun
-/// or on a length prefix that exceeds the remaining payload.
+/// Sequential reader over a received byte range; throws wire::Error on
+/// underrun or on a length prefix that exceeds the remaining payload. Does
+/// not own the bytes — the blob (or frame) must outlive the Reader.
 class Reader {
  public:
-  explicit Reader(const mc::Blob& blob) : blob_(blob) {}
+  explicit Reader(const mc::Blob& blob) : blob_(blob.data(), blob.size()) {}
+  explicit Reader(std::span<const std::uint8_t> bytes) : blob_(bytes) {}
 
   template <typename T>
   T get() {
@@ -106,8 +109,46 @@ class Reader {
   bool done() const { return cursor_ == blob_.size(); }
 
  private:
-  const mc::Blob& blob_;
+  std::span<const std::uint8_t> blob_;
   std::size_t cursor_ = 0;
 };
+
+// --- CRC32-checked framing -------------------------------------------------
+//
+// Payloads that cross the simulated Memory Channel can be corrupted by the
+// fault injector (bit flips, truncation). A sealed frame carries enough
+// redundancy to *detect* any such mutation before a decoder touches the
+// payload:
+//
+//   [magic u32] [payload length u64] [crc32(payload) u32] [payload bytes]
+//
+// open_frame() is non-throwing by design: a CRC mismatch is an expected
+// runtime event under fault injection (the receiver recovers via
+// Processor::retransmit), not a programming error.
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `bytes`.
+std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+inline constexpr std::uint32_t kFrameMagic = 0x45434C54;  // "ECLT"
+inline constexpr std::size_t kFrameHeaderBytes =
+    sizeof(std::uint32_t) + sizeof(std::uint64_t) + sizeof(std::uint32_t);
+
+/// Wrap a payload in a checksummed frame.
+mc::Blob seal_frame(const mc::Blob& payload);
+
+/// Outcome of open_frame. On success `payload` views into the frame blob
+/// (which must outlive it); on failure `error` says what was wrong.
+struct FrameResult {
+  bool ok = false;
+  std::string error;
+  std::span<const std::uint8_t> payload;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Validate a sealed frame: magic, declared length vs actual bytes, CRC.
+/// Never throws; corrupted input (truncated, flipped, foreign) yields
+/// ok == false with a diagnostic.
+FrameResult open_frame(const mc::Blob& frame);
 
 }  // namespace eclat::wire

@@ -1,0 +1,304 @@
+// Deterministic fault injection end to end: crashes at every pipeline
+// stage, stragglers, message corruption and hub degradation — Parallel
+// Eclat must terminate (no deadlock), survivors must recover, and the
+// mined output must equal the fault-free sequential reference exactly.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eclat/eclat_seq.hpp"
+#include "mc/fault.hpp"
+#include "mc/trace.hpp"
+#include "parallel/par_eclat.hpp"
+#include "parallel/wire.hpp"
+#include "test_util.hpp"
+
+namespace eclat::par {
+namespace {
+
+using testutil::same_itemsets;
+using testutil::small_quest_db;
+
+constexpr Count kMinsup = 6;
+
+HorizontalDatabase test_db() { return small_quest_db(400, 30, 17); }
+
+MiningResult reference_result(const HorizontalDatabase& db) {
+  EclatConfig sequential;
+  sequential.minsup = kMinsup;
+  return eclat_sequential(db, sequential);
+}
+
+/// Virtual-time-only cost model: measured thread CPU is excluded, so two
+/// runs of the same (plan, seed) produce bit-identical makespans.
+mc::CostModel modeled_time_only() {
+  mc::CostModel cost;
+  cost.cpu_scale = 0.0;
+  return cost;
+}
+
+ParallelOutput run_with_plan(const HorizontalDatabase& db,
+                             const mc::FaultPlan& plan,
+                             const mc::Topology& topology = {2, 2},
+                             mc::Trace* trace = nullptr) {
+  mc::Cluster cluster(topology, modeled_time_only());
+  cluster.set_fault_plan(plan);
+  if (trace != nullptr) cluster.set_trace(trace);
+  ParEclatConfig config;
+  config.minsup = kMinsup;
+  return par_eclat(cluster, db, config);
+}
+
+std::size_t count_fault_events(const mc::Trace& trace,
+                               const std::string& label) {
+  std::size_t n = 0;
+  for (const mc::TraceEvent& event : trace.sorted()) {
+    if (event.kind == mc::TraceKind::kFault &&
+        event.label.rfind(label, 0) == 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+// --- Crash-recovery: every processor, several sites across all phases. ---
+
+struct CrashSite {
+  const char* name;
+  mc::FaultOp op;
+  const char* phase;
+};
+
+TEST(FaultInjection, CrashAnyProcessorAnySiteOutputUnchanged) {
+  const HorizontalDatabase db = test_db();
+  const MiningResult reference = reference_result(db);
+  const mc::Topology topology{2, 2};
+
+  const CrashSite sites[] = {
+      {"init-scan", mc::FaultOp::kDiskRead, "initialization"},
+      {"init-reduce", mc::FaultOp::kSumReduce, "initialization"},
+      {"transform-plan", mc::FaultOp::kCompute, "transformation"},
+      {"transform-exchange", mc::FaultOp::kAllToAll, "transformation"},
+      {"transform-commit", mc::FaultOp::kBarrier, "transformation"},
+      {"final-gather", mc::FaultOp::kAllGather, "reduction"},
+  };
+
+  for (const CrashSite& site : sites) {
+    for (std::size_t victim = 0; victim < topology.total(); ++victim) {
+      mc::FaultPlan plan;
+      plan.events.push_back(
+          mc::FaultPlan::crash(victim, site.op, site.phase));
+      const ParallelOutput output = run_with_plan(db, plan, topology);
+      const std::string where =
+          std::string(site.name) + " victim=" + std::to_string(victim);
+
+      ASSERT_EQ(output.run_report.outcomes.size(), topology.total());
+      EXPECT_EQ(output.run_report.outcomes[victim],
+                mc::ProcessorOutcome::kCrashed)
+          << where;
+      EXPECT_EQ(output.run_report.crashed(), 1u) << where;
+      EXPECT_TRUE(same_itemsets(output.result, reference)) << where;
+    }
+  }
+}
+
+TEST(FaultInjection, CrashAfterClassCheckpointRecoversFromCheckpoints) {
+  const HorizontalDatabase db = test_db();
+  const MiningResult reference = reference_result(db);
+  const mc::Topology topology{2, 2};
+
+  for (std::size_t victim = 0; victim < topology.total(); ++victim) {
+    mc::FaultPlan plan;
+    plan.events.push_back(
+        mc::FaultPlan::crash_at_point(victim, "class-checkpointed"));
+    const ParallelOutput output = run_with_plan(db, plan, topology);
+    const std::string where = "victim=" + std::to_string(victim);
+    // The point only fires if the victim owns at least one class; either
+    // way the output must match.
+    EXPECT_LE(output.run_report.crashed(), 1u) << where;
+    EXPECT_TRUE(same_itemsets(output.result, reference)) << where;
+    if (output.run_report.crashed() == 1) {
+      EXPECT_GT(output.phase_seconds.count("recovery"), 0u) << where;
+    }
+  }
+}
+
+TEST(FaultInjection, CrashOfProcessorZeroMovesTheRoot) {
+  // Processor 0 assembles the result in fault-free runs; its death at the
+  // final gather must hand assembly to the lowest-id survivor.
+  const HorizontalDatabase db = test_db();
+  mc::FaultPlan plan;
+  plan.events.push_back(
+      mc::FaultPlan::crash(0, mc::FaultOp::kAllGather, "reduction"));
+  const ParallelOutput output = run_with_plan(db, plan);
+  EXPECT_EQ(output.run_report.outcomes[0], mc::ProcessorOutcome::kCrashed);
+  EXPECT_TRUE(same_itemsets(output.result, reference_result(db)));
+}
+
+TEST(FaultInjection, CrashAtVirtualTimeFires) {
+  const HorizontalDatabase db = test_db();
+  mc::FaultPlan plan;
+  plan.events.push_back(mc::FaultPlan::crash_at_time(3, 1e-9));
+  const ParallelOutput output = run_with_plan(db, plan);
+  EXPECT_EQ(output.run_report.outcomes[3], mc::ProcessorOutcome::kCrashed);
+  EXPECT_TRUE(same_itemsets(output.result, reference_result(db)));
+}
+
+TEST(FaultInjection, TwoCrashesInDifferentPhasesStillRecover) {
+  const HorizontalDatabase db = test_db();
+  mc::FaultPlan plan;
+  plan.events.push_back(
+      mc::FaultPlan::crash(0, mc::FaultOp::kSumReduce, "initialization"));
+  plan.events.push_back(
+      mc::FaultPlan::crash(2, mc::FaultOp::kAllGather, "reduction"));
+  const ParallelOutput output = run_with_plan(db, plan);
+  EXPECT_EQ(output.run_report.crashed(), 2u);
+  EXPECT_TRUE(same_itemsets(output.result, reference_result(db)));
+}
+
+// --- Determinism: one seed, one schedule, one makespan. ---
+
+TEST(FaultInjection, SamePlanSameSeedSameMakespanAndSchedule) {
+  const HorizontalDatabase db = test_db();
+  mc::FaultPlan plan;
+  plan.seed = 0xFEED;
+  plan.events.push_back(
+      mc::FaultPlan::crash(1, mc::FaultOp::kAllToAll, "transformation"));
+  plan.events.push_back(mc::FaultPlan::corrupt_message(
+      2, mc::kAnyProcessor));
+
+  mc::Trace trace_a, trace_b;
+  const ParallelOutput a = run_with_plan(db, plan, {2, 2}, &trace_a);
+  const ParallelOutput b = run_with_plan(db, plan, {2, 2}, &trace_b);
+
+  EXPECT_EQ(a.total_seconds, b.total_seconds);  // bit-identical, cpu_scale=0
+  EXPECT_TRUE(same_itemsets(a.result, b.result));
+  EXPECT_EQ(a.run_report.outcomes, b.run_report.outcomes);
+  // The injected-fault timeline replays exactly.
+  EXPECT_EQ(count_fault_events(trace_a, "crash"),
+            count_fault_events(trace_b, "crash"));
+  EXPECT_EQ(count_fault_events(trace_a, "corrupt-message"),
+            count_fault_events(trace_b, "corrupt-message"));
+  EXPECT_EQ(count_fault_events(trace_a, "retransmit"),
+            count_fault_events(trace_b, "retransmit"));
+}
+
+// --- Stragglers and hub degradation: makespan moves, output never. ---
+
+TEST(FaultInjection, DiskStragglerGrowsMakespanNotOutput) {
+  const HorizontalDatabase db = test_db();
+  const ParallelOutput clean = run_with_plan(db, {});
+
+  mc::FaultPlan plan;
+  plan.events.push_back(mc::FaultPlan::disk_stall(2, 25.0));
+  const ParallelOutput stalled = run_with_plan(db, plan);
+
+  EXPECT_TRUE(stalled.run_report.all_finished());
+  EXPECT_GT(stalled.total_seconds, clean.total_seconds);
+  EXPECT_TRUE(same_itemsets(stalled.result, clean.result));
+}
+
+TEST(FaultInjection, HubDegradationStretchesTheExchange) {
+  const HorizontalDatabase db = test_db();
+  const ParallelOutput clean = run_with_plan(db, {});
+
+  mc::FaultPlan plan;
+  plan.events.push_back(mc::FaultPlan::hub_degrade(1000.0, 0.0));
+  const ParallelOutput degraded = run_with_plan(db, plan);
+
+  EXPECT_TRUE(degraded.run_report.all_finished());
+  EXPECT_GT(degraded.total_seconds, clean.total_seconds);
+  EXPECT_TRUE(same_itemsets(degraded.result, clean.result));
+}
+
+// --- Message corruption: detected by the CRC frame, repaired by
+// retransmission, never decoded into wrong counts. ---
+
+TEST(FaultInjection, CorruptedExchangePayloadIsRetransmitted) {
+  const HorizontalDatabase db = test_db();
+  mc::Trace trace;
+  mc::FaultPlan plan;
+  plan.events.push_back(
+      mc::FaultPlan::corrupt_message(1, mc::kAnyProcessor));
+  const ParallelOutput output = run_with_plan(db, plan, {2, 2}, &trace);
+
+  EXPECT_TRUE(output.run_report.all_finished());
+  EXPECT_EQ(count_fault_events(trace, "corrupt-message"), 1u);
+  EXPECT_EQ(count_fault_events(trace, "retransmit"), 1u);
+  EXPECT_TRUE(same_itemsets(output.result, reference_result(db)));
+}
+
+TEST(FaultInjection, CorruptionPlusCrashTogether) {
+  const HorizontalDatabase db = test_db();
+  mc::FaultPlan plan;
+  plan.events.push_back(
+      mc::FaultPlan::corrupt_message(0, mc::kAnyProcessor));
+  plan.events.push_back(
+      mc::FaultPlan::crash_at_point(3, "class-checkpointed"));
+  const ParallelOutput output = run_with_plan(db, plan);
+  EXPECT_TRUE(same_itemsets(output.result, reference_result(db)));
+}
+
+// --- Substrate-level behaviour. ---
+
+TEST(FaultInjection, AbortedBodyReleasesPeersAndRethrows) {
+  // A non-fault exception in one processor must not deadlock the others at
+  // their barriers, and must surface from Cluster::run after the join.
+  mc::Cluster cluster(mc::Topology{2, 2}, modeled_time_only());
+  EXPECT_THROW(cluster.run([](mc::Processor& self) {
+    if (self.id() == 2) throw std::runtime_error("boom");
+    self.barrier();
+    self.barrier();
+  }),
+               std::runtime_error);
+  const mc::RunReport& report = cluster.last_run_report();
+  EXPECT_EQ(report.outcomes[2], mc::ProcessorOutcome::kAborted);
+  for (const std::size_t p : {0u, 1u, 3u}) {
+    EXPECT_EQ(report.outcomes[p], mc::ProcessorOutcome::kFinished) << p;
+  }
+}
+
+TEST(FaultInjection, RegionCorruptionIsCaughtBySealedFrame) {
+  mc::Cluster cluster(mc::Topology{1, 2}, modeled_time_only());
+  mc::FaultPlan plan;
+  plan.events.push_back(mc::FaultPlan::corrupt_region(0));
+  cluster.set_fault_plan(plan);
+
+  const auto region = cluster.channel().create_region(1 << 12);
+  std::atomic<bool> detected{false};
+  cluster.run([&](mc::Processor& self) {
+    const mc::Blob sealed = wire::seal_frame({1, 2, 3, 4, 5, 6, 7, 8});
+    if (self.id() == 0) {
+      self.region_write(region, 0, {sealed.data(), sealed.size()});
+    }
+    self.barrier();
+    if (self.id() == 1) {
+      mc::Blob readback(sealed.size());
+      self.region_read(region, 0, {readback.data(), readback.size()});
+      detected = !wire::open_frame(readback).ok;
+    }
+  });
+  EXPECT_TRUE(detected.load());
+}
+
+TEST(FaultInjection, CrashEventWithoutTargetProcessorIsRejected) {
+  mc::FaultPlan plan;
+  mc::FaultEvent event;
+  event.kind = mc::FaultKind::kCrash;  // no processor: ambiguous trigger
+  plan.events.push_back(event);
+  EXPECT_THROW(mc::FaultInjector(plan, 4), std::invalid_argument);
+}
+
+TEST(FaultInjection, FaultFreePlanReportsAllFinished) {
+  const HorizontalDatabase db = test_db();
+  const ParallelOutput output = run_with_plan(db, {});
+  EXPECT_TRUE(output.run_report.all_finished());
+  EXPECT_EQ(output.run_report.crashed(), 0u);
+  EXPECT_EQ(output.phase_seconds.count("recovery"), 0u);
+}
+
+}  // namespace
+}  // namespace eclat::par
