@@ -2,13 +2,19 @@
 // Eclat (§4.2, §5.3). Run with google-benchmark.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <string>
+
 #include "common/rng.hpp"
 #include "vertical/tidlist.hpp"
+#include "vertical/tidset.hpp"
 
 namespace {
 
+using eclat::IntersectKernel;
 using eclat::Rng;
 using eclat::TidList;
+using eclat::TidSet;
 
 /// Random sorted tid-list over [0, universe) with the given density.
 TidList random_tidlist(Rng& rng, eclat::Tid universe, double density) {
@@ -87,6 +93,53 @@ void BM_IntersectMergeSkewed(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IntersectMergeSkewed)->Range(1 << 12, 1 << 20);
+
+// --- Density sweep through the dispatched TidSet kernels -------------------
+//
+// Equal-density pairs over a fixed 64K-tid universe, density from 0.1% up
+// to 50%. The threshold (n * 64 >= U, i.e. density 1/64) sits inside the
+// sweep, so kAuto runs sparse merge at the low end and the dense word-AND
+// at the high end; kBitset shows what forcing the bitset costs on sparse
+// inputs, kMergeShortCircuit what the merge costs on dense ones.
+
+constexpr double kSweepDensities[] = {0.001, 0.01, 0.05, 0.1, 0.25, 0.5};
+constexpr eclat::Tid kSweepUniverse = 1 << 16;
+
+void density_sweep(benchmark::State& state, IntersectKernel kernel) {
+  Rng rng(6);
+  const double density = kSweepDensities[state.range(0)];
+  const TidList a = random_tidlist(rng, kSweepUniverse, density);
+  const TidList b = random_tidlist(rng, kSweepUniverse, density);
+  TidSet sa;
+  TidSet sb;
+  TidSet out;
+  eclat::seed_tidset(a, kSweepUniverse, kernel, sa, nullptr);
+  eclat::seed_tidset(b, kSweepUniverse, kernel, sb, nullptr);
+  for (auto _ : state) {
+    bool alive = eclat::intersect_into(sa, sb, 1, kernel, kSweepUniverse,
+                                       out, nullptr);
+    benchmark::DoNotOptimize(alive);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * (a.size() + b.size())));
+  state.SetLabel("density=" + std::to_string(density));
+}
+
+void BM_IntersectDensityMerge(benchmark::State& state) {
+  density_sweep(state, IntersectKernel::kMergeShortCircuit);
+}
+BENCHMARK(BM_IntersectDensityMerge)->DenseRange(0, 5);
+
+void BM_IntersectDensityBitset(benchmark::State& state) {
+  density_sweep(state, IntersectKernel::kBitset);
+}
+BENCHMARK(BM_IntersectDensityBitset)->DenseRange(0, 5);
+
+void BM_IntersectDensityAuto(benchmark::State& state) {
+  density_sweep(state, IntersectKernel::kAuto);
+}
+BENCHMARK(BM_IntersectDensityAuto)->DenseRange(0, 5);
 
 void BM_IntersectionSizeOnly(benchmark::State& state) {
   Rng rng(5);

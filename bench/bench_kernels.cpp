@@ -1,0 +1,236 @@
+// Kernel ablation trajectory — the numbers behind the adaptive tid-list
+// layer. Two sections:
+//
+//   1. Micro: intersection throughput (tids/s) of each kernel on
+//      equal-density pairs over a 64K-tid universe, density swept from
+//      0.1% to 50%. The adaptive threshold (density 1/64) sits inside the
+//      sweep, so kAuto should track the merge kernels on the sparse half
+//      and the bitset word-AND on the dense half.
+//   2. End-to-end: sequential Eclat wall time per kernel on a
+//      T10.I4-style Quest database (avg pattern length 4, N = 1000) and
+//      on a dense variant (N = 64) where the bitset representation
+//      engages; itemset counts are cross-checked for identity.
+//
+// Writes a JSON trajectory to BENCH_kernels.json so the ratios are
+// comparable across commits.
+//
+//   ./bench_kernels [--kernel=all] [--scale=0.5] [--support=0.0025]
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "eclat/eclat_seq.hpp"
+#include "vertical/tidset.hpp"
+
+namespace {
+
+using namespace eclat;
+
+constexpr IntersectKernel kAllKernels[] = {
+    IntersectKernel::kMerge, IntersectKernel::kMergeShortCircuit,
+    IntersectKernel::kGallop, IntersectKernel::kBitset,
+    IntersectKernel::kAuto};
+
+constexpr std::string_view kKernelChoices[] = {
+    "all", "merge", "short-circuit", "gallop", "bitset", "auto"};
+
+/// Random sorted tid-list over [0, universe) with the given density.
+TidList random_tidlist(Rng& rng, Tid universe, double density) {
+  TidList tids;
+  tids.reserve(static_cast<std::size_t>(universe * density * 1.2));
+  for (Tid t = 0; t < universe; ++t) {
+    if (rng.uniform() < density) tids.push_back(t);
+  }
+  return tids;
+}
+
+/// Tids per second of repeated a ∩ b through the dispatched kernel,
+/// timed over enough repetitions to fill ~50 ms of wall clock.
+double intersect_throughput(const TidList& a, const TidList& b, Tid universe,
+                            IntersectKernel kernel) {
+  TidSet sa;
+  TidSet sb;
+  TidSet out;
+  seed_tidset(a, universe, kernel, sa, nullptr);
+  seed_tidset(b, universe, kernel, sb, nullptr);
+  const double tids_per_call = static_cast<double>(a.size() + b.size());
+
+  // Warm up (first call sizes the output buffers), then calibrate.
+  intersect_into(sa, sb, 1, kernel, universe, out, nullptr);
+  std::size_t reps = 1;
+  for (;;) {
+    WallStopwatch watch;
+    for (std::size_t r = 0; r < reps; ++r) {
+      intersect_into(sa, sb, 1, kernel, universe, out, nullptr);
+    }
+    const double seconds = watch.elapsed_seconds();
+    if (seconds >= 0.05) {
+      return tids_per_call * static_cast<double>(reps) / seconds;
+    }
+    reps *= seconds <= 0.005 ? 10 : 2;
+  }
+}
+
+struct MicroRow {
+  double density = 0.0;
+  double tids_per_second[std::size(kAllKernels)] = {};
+};
+
+struct EndToEndRow {
+  std::string database;
+  Count minsup = 0;
+  std::size_t itemsets = 0;   ///< identical across kernels (checked)
+  double seconds[std::size(kAllKernels)] = {};
+};
+
+EndToEndRow run_end_to_end(const std::string& name,
+                           const gen::QuestConfig& config, double support) {
+  const HorizontalDatabase db = gen::QuestGenerator(config).generate();
+  EndToEndRow row;
+  row.database = name;
+  row.minsup = absolute_support(support, db.size());
+
+  std::printf("%-16s |D|=%zu minsup=%llu\n", name.c_str(), db.size(),
+              static_cast<unsigned long long>(row.minsup));
+  for (std::size_t k = 0; k < std::size(kAllKernels); ++k) {
+    EclatConfig eclat_config;
+    eclat_config.minsup = row.minsup;
+    eclat_config.kernel = kAllKernels[k];
+    WallStopwatch watch;
+    const MiningResult result = eclat_sequential(db, eclat_config);
+    row.seconds[k] = watch.elapsed_seconds();
+    if (row.itemsets == 0) {
+      row.itemsets = result.itemsets.size();
+    } else if (row.itemsets != result.itemsets.size()) {
+      std::fprintf(stderr, "kernel %s diverged: %zu itemsets vs %zu\n",
+                   kernel_name(kAllKernels[k]), result.itemsets.size(),
+                   row.itemsets);
+      std::exit(1);
+    }
+    std::printf("  %-14s %8.3f s  (%zu itemsets)\n",
+                kernel_name(kAllKernels[k]), row.seconds[k], row.itemsets);
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using eclat::bench::print_rule;
+  const Flags flags(argc, argv);
+  const std::string kernel_filter =
+      flags.get_choice("kernel", kKernelChoices, "all");
+  const double scale = flags.get_double("scale", 0.5);
+  const double support = flags.get_double("support", 0.0025);
+  const bool write_json = flags.get_bool("json", true);
+
+  // ---- Micro: density sweep over a 64K universe ------------------------
+  constexpr Tid kUniverse = 1 << 16;
+  constexpr double kDensities[] = {0.001, 0.004, 0.016, 0.0625,
+                                   0.1,   0.25,  0.5};
+
+  std::printf("Intersection throughput (Mtids/s), universe %u\n", kUniverse);
+  print_rule('=', 96);
+  std::printf("%-9s |", "density");
+  for (IntersectKernel kernel : kAllKernels) {
+    std::printf(" %13s", kernel_name(kernel));
+  }
+  std::printf(" | auto/merge\n");
+  print_rule('-', 96);
+
+  std::vector<MicroRow> micro;
+  for (double density : kDensities) {
+    Rng rng(42);
+    const TidList a = random_tidlist(rng, kUniverse, density);
+    const TidList b = random_tidlist(rng, kUniverse, density);
+    MicroRow row;
+    row.density = density;
+    for (std::size_t k = 0; k < std::size(kAllKernels); ++k) {
+      if (kernel_filter != "all" &&
+          kernel_filter != kernel_name(kAllKernels[k])) {
+        continue;
+      }
+      row.tids_per_second[k] =
+          intersect_throughput(a, b, kUniverse, kAllKernels[k]);
+    }
+    std::printf("%-9g |", density);
+    for (std::size_t k = 0; k < std::size(kAllKernels); ++k) {
+      std::printf(" %13.1f", row.tids_per_second[k] * 1e-6);
+    }
+    const double merge = row.tids_per_second[0];
+    const double autok = row.tids_per_second[4];
+    if (merge > 0 && autok > 0) {
+      std::printf(" | %9.2fx", autok / merge);
+    }
+    std::printf("\n");
+    micro.push_back(row);
+  }
+  print_rule('-', 96);
+
+  // ---- End-to-end: sequential Eclat per kernel -------------------------
+  std::vector<EndToEndRow> runs;
+  if (kernel_filter == "all") {
+    gen::QuestConfig sparse;  // T10.I4, paper-style N = 1000
+    sparse.avg_pattern_length = 4.0;
+    sparse.num_transactions =
+        static_cast<std::size_t>(100'000 * scale);
+    sparse.seed = 2004;
+    runs.push_back(run_end_to_end(
+        "T10.I4." + std::to_string(sparse.num_transactions / 1000) + "K",
+        sparse, support));
+
+    gen::QuestConfig dense = sparse;  // same shape, 64-item catalog: tid
+    dense.num_items = 64;             // lists go dense, the bitset engages
+    dense.num_patterns = 200;
+    dense.seed = 2005;
+    runs.push_back(run_end_to_end(
+        "T10.I4.N64." + std::to_string(dense.num_transactions / 1000) + "K",
+        dense, 0.05));
+  }
+
+  if (write_json) {
+    const char* path = "BENCH_kernels.json";
+    std::FILE* out = std::fopen(path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path);
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"benchmark\": \"kernels\",\n"
+                 "  \"universe\": %u,\n  \"micro_tids_per_second\": [\n",
+                 kUniverse);
+    for (std::size_t i = 0; i < micro.size(); ++i) {
+      const MicroRow& row = micro[i];
+      std::fprintf(out, "    {\"density\": %g", row.density);
+      for (std::size_t k = 0; k < std::size(kAllKernels); ++k) {
+        std::fprintf(out, ", \"%s\": %.0f", kernel_name(kAllKernels[k]),
+                     row.tids_per_second[k]);
+      }
+      std::fprintf(out, "}%s\n", i + 1 < micro.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n  \"end_to_end_seconds\": [\n");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const EndToEndRow& row = runs[i];
+      std::fprintf(out,
+                   "    {\"database\": \"%s\", \"minsup\": %llu, "
+                   "\"itemsets\": %zu",
+                   row.database.c_str(),
+                   static_cast<unsigned long long>(row.minsup), row.itemsets);
+      for (std::size_t k = 0; k < std::size(kAllKernels); ++k) {
+        std::fprintf(out, ", \"%s\": %.6f", kernel_name(kAllKernels[k]),
+                     row.seconds[k]);
+      }
+      std::fprintf(out, "}%s\n", i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", path);
+  }
+  return 0;
+}

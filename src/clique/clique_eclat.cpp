@@ -63,6 +63,7 @@ MiningResult clique_eclat(const HorizontalDatabase& db,
   // Asynchronous phase per clique sub-class, deduplicating across cliques.
   ItemsetSet seen;
   std::vector<std::size_t> histogram;
+  TidArena arena;
   for (const CliqueClass& sub : classes) {
     if (sub.members.size() < 2) continue;
     std::vector<Atom> atoms;
@@ -73,8 +74,8 @@ MiningResult clique_eclat(const HorizontalDatabase& db,
     }
     std::vector<FrequentItemset> found;
     std::vector<std::size_t> sub_histogram;
-    compute_frequent(atoms, config.minsup, config.kernel, found,
-                     sub_histogram);
+    compute_frequent(atoms, config.minsup, config.kernel, arena, found,
+                     sub_histogram, &local_stats.intersect);
     for (FrequentItemset& f : found) {
       if (seen.insert(f.items).second) {
         if (histogram.size() <= f.items.size()) {

@@ -25,6 +25,7 @@ struct CliqueEclatStats {
   std::size_t plain_weight = 0;     ///< Σ C(s,2) over prefix classes
   std::size_t clique_weight = 0;    ///< Σ C(s,2) over clique classes
   std::size_t duplicates = 0;       ///< itemsets found in several cliques
+  IntersectStats intersect;         ///< kernel counters for the mining phase
 };
 
 MiningResult clique_eclat(const HorizontalDatabase& db,

@@ -53,4 +53,21 @@ bool Flags::get_bool(const std::string& name, bool fallback) const {
   return it->second != "false" && it->second != "0" && it->second != "no";
 }
 
+std::string Flags::get_choice(const std::string& name,
+                              std::span<const std::string_view> choices,
+                              const std::string& fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  for (const std::string_view choice : choices) {
+    if (it->second == choice) return it->second;
+  }
+  std::string allowed;
+  for (const std::string_view choice : choices) {
+    if (!allowed.empty()) allowed += "|";
+    allowed += choice;
+  }
+  throw std::invalid_argument("--" + name + "=" + it->second +
+                              ": expected one of " + allowed);
+}
+
 }  // namespace eclat

@@ -6,7 +6,9 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace eclat {
@@ -21,6 +23,13 @@ class Flags {
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Value restricted to an enumerated set (e.g. --kernel=merge|gallop).
+  /// Returns `fallback` when absent; throws std::invalid_argument naming
+  /// the flag and the allowed values when present but not in `choices`.
+  std::string get_choice(const std::string& name,
+                         std::span<const std::string_view> choices,
+                         const std::string& fallback) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
 

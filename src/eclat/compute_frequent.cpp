@@ -2,34 +2,128 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
+
 namespace eclat {
+
+Tid class_universe(const std::vector<Atom>& class_atoms) {
+  Tid universe = 0;
+  for (const Atom& atom : class_atoms) {
+    if (!atom.tids.empty()) {
+      universe = std::max(universe, atom.tids.back() + 1);
+    }
+  }
+  return universe;
+}
 
 std::optional<TidList> intersect_with_kernel(const TidList& a,
                                              const TidList& b, Count minsup,
                                              IntersectKernel kernel,
                                              IntersectStats* stats) {
-  if (stats) {
-    ++stats->intersections;
-    stats->tids_scanned += a.size() + b.size();
+  Tid universe = 0;
+  if (!a.empty()) universe = a.back() + 1;
+  if (!b.empty()) universe = std::max(universe, b.back() + 1);
+  TidSet sa;
+  TidSet sb;
+  TidSet result;
+  seed_tidset(a, universe, kernel, sa, stats);
+  seed_tidset(b, universe, kernel, sb, stats);
+  if (!intersect_into(sa, sb, minsup, kernel, universe, result, stats)) {
+    return std::nullopt;
   }
-  switch (kernel) {
-    case IntersectKernel::kMergeShortCircuit: {
-      std::optional<TidList> result = intersect_short_circuit(a, b, minsup);
-      if (stats && !result) ++stats->short_circuited;
-      return result;
+  return result.to_tidlist();
+}
+
+namespace {
+
+void emit(const Itemset& prefix, Item suffix, Count support,
+          std::vector<FrequentItemset>& out,
+          std::vector<std::size_t>& size_histogram) {
+  const std::size_t size = prefix.size() + 1;
+  if (size_histogram.size() <= size) size_histogram.resize(size + 1, 0);
+  ++size_histogram[size];
+  FrequentItemset& found = out.emplace_back();
+  found.items.reserve(size);
+  found.items.assign(prefix.begin(), prefix.end());
+  found.items.push_back(suffix);
+  found.support = support;
+}
+
+/// Mine the class held in the first `used` slots of arena level `depth`,
+/// whose members share the items in arena.prefix(). Emission order is the
+/// classical recursive one: for each leading atom i, every frequent join
+/// (i, j) in j order, then atom i's child class mined to completion
+/// before atom i+1.
+void mine(TidArena& arena, std::size_t depth, Count minsup,
+          IntersectKernel kernel, Tid universe,
+          std::vector<FrequentItemset>& out,
+          std::vector<std::size_t>& size_histogram, IntersectStats* stats) {
+  TidArena::Level& cur = arena.level(depth);
+  TidArena::Level& next = arena.level(depth + 1);
+  const std::size_t n = cur.used;
+  Itemset& prefix = arena.prefix();
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    prefix.push_back(cur.suffixes[i]);
+    if (i + 2 == n) {
+      // Single join (i, n-1) whose child class is at most a singleton —
+      // it can never recurse, so evaluate support without materializing.
+      const std::optional<Count> support = intersect_support(
+          cur.sets[i], cur.sets[n - 1], minsup, kernel, stats);
+      if (support) {
+        emit(prefix, cur.suffixes[n - 1], *support, out, size_histogram);
+      }
+    } else {
+      next.reset();
+      for (std::size_t j = i + 1; j < n; ++j) {
+        TidSet& slot = next.scratch();
+        if (!intersect_into(cur.sets[i], cur.sets[j], minsup, kernel,
+                            universe, slot, stats)) {
+          continue;
+        }
+        const Count support = slot.support();
+        emit(prefix, cur.suffixes[j], support, out, size_histogram);
+        next.commit(cur.suffixes[j], support);
+      }
+      if (next.used >= 2) {
+        mine(arena, depth + 1, minsup, kernel, universe, out,
+             size_histogram, stats);
+      }
     }
-    case IntersectKernel::kGallop: {
-      TidList result = intersect_gallop(a, b);
-      if (result.size() < minsup) return std::nullopt;
-      return result;
-    }
-    case IntersectKernel::kMerge:
-    default: {
-      TidList result = intersect(a, b);
-      if (result.size() < minsup) return std::nullopt;
-      return result;
-    }
+    prefix.pop_back();
   }
+}
+
+}  // namespace
+
+void compute_frequent(const std::vector<Atom>& class_atoms, Count minsup,
+                      IntersectKernel kernel, TidArena& arena,
+                      std::vector<FrequentItemset>& out,
+                      std::vector<std::size_t>& size_histogram,
+                      IntersectStats* stats) {
+  if (class_atoms.size() < 2) return;
+#if ECLAT_DCHECKS_ENABLED
+  for (const Atom& atom : class_atoms) {
+    ECLAT_DCHECK(atom.items.size() == class_atoms.front().items.size());
+    ECLAT_DCHECK(std::equal(atom.items.begin(), atom.items.end() - 1,
+                            class_atoms.front().items.begin()));
+  }
+#endif
+  const Tid universe = class_universe(class_atoms);
+
+  // Seed level 0 with the atoms in the kernel's preferred representation.
+  TidArena::Level& root = arena.level(0);
+  root.reset();
+  for (const Atom& atom : class_atoms) {
+    TidSet& slot = root.scratch();
+    seed_tidset(atom.tids, universe, kernel, slot, stats);
+    root.commit(atom.items.back(), atom.support());
+  }
+
+  Itemset& prefix = arena.prefix();
+  prefix.assign(class_atoms.front().items.begin(),
+                class_atoms.front().items.end() - 1);
+  mine(arena, 0, minsup, kernel, universe, out, size_histogram, stats);
+  prefix.clear();
 }
 
 void compute_frequent(const std::vector<Atom>& class_atoms, Count minsup,
@@ -37,31 +131,9 @@ void compute_frequent(const std::vector<Atom>& class_atoms, Count minsup,
                       std::vector<FrequentItemset>& out,
                       std::vector<std::size_t>& size_histogram,
                       IntersectStats* stats) {
-  if (class_atoms.size() < 2) return;
-
-  // Joining atom i with every atom j > i yields the child equivalence
-  // class prefixed by atom i's itemset; recurse depth-first so at most one
-  // child class per level is alive (paper §5.3).
-  for (std::size_t i = 0; i + 1 < class_atoms.size(); ++i) {
-    std::vector<Atom> child_class;
-    for (std::size_t j = i + 1; j < class_atoms.size(); ++j) {
-      std::optional<TidList> tids = intersect_with_kernel(
-          class_atoms[i].tids, class_atoms[j].tids, minsup, kernel, stats);
-      if (!tids) continue;
-
-      Atom child;
-      child.items = class_atoms[i].items;
-      child.items.push_back(class_atoms[j].items.back());
-      child.tids = std::move(*tids);
-
-      const std::size_t size = child.items.size();
-      if (size_histogram.size() <= size) size_histogram.resize(size + 1, 0);
-      ++size_histogram[size];
-      out.push_back(FrequentItemset{child.items, child.support()});
-      child_class.push_back(std::move(child));
-    }
-    compute_frequent(child_class, minsup, kernel, out, size_histogram, stats);
-  }
+  TidArena arena;
+  compute_frequent(class_atoms, minsup, kernel, arena, out, size_histogram,
+                   stats);
 }
 
 }  // namespace eclat

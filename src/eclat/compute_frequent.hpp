@@ -2,7 +2,9 @@
 // enumeration of all frequent itemsets derivable from one equivalence
 // class, by pairwise tid-list intersection. Only the atoms of one class at
 // one level are alive at a time, which is what makes Eclat main-memory
-// frugal (paper §5.3).
+// frugal (paper §5.3). The recursion runs over TidArena scratch buffers,
+// so steady-state mining allocates nothing; kernels (including the dense
+// bitset and the adaptive auto dispatch) come from vertical/tidset.hpp.
 #pragma once
 
 #include <cstdint>
@@ -10,17 +12,11 @@
 
 #include "common/result.hpp"
 #include "common/types.hpp"
+#include "eclat/tid_arena.hpp"
 #include "vertical/tidlist.hpp"
+#include "vertical/tidset.hpp"
 
 namespace eclat {
-
-/// Intersection kernel selection (the merge kernel supports the paper's
-/// short-circuit optimization; galloping is the ablation alternative).
-enum class IntersectKernel : std::uint8_t {
-  kMerge,
-  kMergeShortCircuit,  // the paper's default
-  kGallop,
-};
 
 /// An itemset together with its tid-list — the unit the recursion works on.
 struct Atom {
@@ -30,26 +26,34 @@ struct Atom {
   Count support() const { return tids.size(); }
 };
 
-/// Counters the ablation benchmarks read back.
-struct IntersectStats {
-  std::uint64_t intersections = 0;    ///< kernel invocations
-  std::uint64_t short_circuited = 0;  ///< aborted early by the bound
-  std::uint64_t tids_scanned = 0;     ///< total input elements consumed
-};
+/// Smallest universe covering every tid of `class_atoms` (max tid + 1);
+/// the bitset width the dense kernels use for this class.
+Tid class_universe(const std::vector<Atom>& class_atoms);
 
 /// Enumerate all frequent itemsets strictly larger than the atoms of
 /// `class_atoms` (which must share a common prefix of all but the last
 /// item, be sorted lexicographically, and all meet `minsup` already).
 /// Found itemsets are appended to `out`; per-size counts are accumulated
 /// into `size_histogram` (index = itemset size; grown on demand).
+/// `arena` provides the recursion's scratch buffers and may be reused
+/// across calls (and across classes) on the same thread.
+void compute_frequent(const std::vector<Atom>& class_atoms, Count minsup,
+                      IntersectKernel kernel, TidArena& arena,
+                      std::vector<FrequentItemset>& out,
+                      std::vector<std::size_t>& size_histogram,
+                      IntersectStats* stats = nullptr);
+
+/// Convenience overload with a call-local arena (tests, one-shot callers).
 void compute_frequent(const std::vector<Atom>& class_atoms, Count minsup,
                       IntersectKernel kernel,
                       std::vector<FrequentItemset>& out,
                       std::vector<std::size_t>& size_histogram,
                       IntersectStats* stats = nullptr);
 
-/// Single intersection through the selected kernel. Returns an empty
-/// optional when the result provably misses `minsup`.
+/// Single intersection through the selected kernel, on plain tid-lists.
+/// Returns an empty optional when the result provably misses `minsup`.
+/// For the dense kernels (kBitset, and kAuto when it picks the bitset)
+/// the universe is taken as max(a.back(), b.back()) + 1.
 std::optional<TidList> intersect_with_kernel(const TidList& a,
                                              const TidList& b, Count minsup,
                                              IntersectKernel kernel,

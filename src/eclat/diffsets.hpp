@@ -8,7 +8,9 @@
 // and on dense data the diffsets are dramatically smaller than the
 // tidsets they replace. The recursion enters from ordinary tid-list atoms
 // (the L2 equivalence-class members) and switches representation at the
-// first join: d(XY) = t(X) \ t(Y).
+// first join: d(XY) = t(X) \ t(Y). Diffsets run over the same adaptive
+// TidSet representations as the intersection path: the dense kernel is a
+// word-wise AND-NOT with the same budget bound.
 #pragma once
 
 #include "eclat/compute_frequent.hpp"
@@ -25,7 +27,18 @@ struct DiffAtom {
 
 /// Drop-in alternative to compute_frequent: identical results, diffset
 /// representation internally. `class_atoms` are tid-list atoms exactly as
-/// for compute_frequent. Stats count diffset elements scanned.
+/// for compute_frequent. Stats count diffset elements (or bitset words)
+/// actually scanned. Sparse kernels all use the bounded merge difference
+/// (galloping has no difference analogue); kBitset/kAuto use the dense
+/// AND-NOT where the representation allows.
+void compute_frequent_diffsets(const std::vector<Atom>& class_atoms,
+                               Count minsup, IntersectKernel kernel,
+                               TidArena& arena,
+                               std::vector<FrequentItemset>& out,
+                               std::vector<std::size_t>& size_histogram,
+                               IntersectStats* stats = nullptr);
+
+/// Convenience overload: paper kernel, call-local arena.
 void compute_frequent_diffsets(const std::vector<Atom>& class_atoms,
                                Count minsup,
                                std::vector<FrequentItemset>& out,

@@ -54,6 +54,9 @@ MiningResult eclat_sequential(const HorizontalDatabase& db,
   std::vector<std::size_t> size_histogram(3, 0);
   size_histogram[2] = frequent_pairs.size();
 
+  // One arena reused across every class: level buffers warm up on the
+  // first few classes, after which the recursion allocates nothing.
+  TidArena arena;
   for (const EquivalenceClass& eq_class : classes) {
     std::vector<Atom> atoms;
     atoms.reserve(eq_class.members.size());
@@ -63,11 +66,11 @@ MiningResult eclat_sequential(const HorizontalDatabase& db,
                            std::move(tidlists.at(key))});
     }
     if (config.use_diffsets) {
-      compute_frequent_diffsets(atoms, config.minsup, result.itemsets,
-                                size_histogram, stats);
+      compute_frequent_diffsets(atoms, config.minsup, config.kernel, arena,
+                                result.itemsets, size_histogram, stats);
     } else {
-      compute_frequent(atoms, config.minsup, config.kernel, result.itemsets,
-                       size_histogram, stats);
+      compute_frequent(atoms, config.minsup, config.kernel, arena,
+                       result.itemsets, size_histogram, stats);
     }
   }
 

@@ -17,9 +17,10 @@ struct EclatConfig {
   Count minsup = 1;  ///< absolute minimum support (transactions)
   IntersectKernel kernel = IntersectKernel::kMergeShortCircuit;
   /// Mine with diffsets (dEclat) instead of tid-list intersections —
-  /// identical results, smaller intermediate sets on dense data. When
-  /// set, `kernel` only applies to nothing (diffsets use their own
-  /// bounded-difference kernel).
+  /// identical results, smaller intermediate sets on dense data. The
+  /// `kernel` selection applies to the difference kernels too: sparse
+  /// kernels use the bounded merge difference, kBitset/kAuto the dense
+  /// AND-NOT.
   bool use_diffsets = false;
   /// Also report frequent 1-itemsets. The paper's Eclat never counts
   /// singletons (§5.1); they are counted here in the same pass as the pairs

@@ -1,6 +1,8 @@
 #include "eclat/max_eclat.hpp"
 
 #include <algorithm>
+#include <array>
+#include <deque>
 
 #include "apriori/apriori.hpp"
 #include "eclat/equivalence.hpp"
@@ -9,66 +11,94 @@
 namespace eclat {
 namespace {
 
-/// Collect maximal candidates from one class of atoms. Every maximal
-/// frequent itemset extending this class's prefix lands in `out` (possibly
-/// alongside non-maximal candidates, removed by the global subsumption
-/// filter at the end).
-void max_recurse(const std::vector<Atom>& atoms, Count minsup,
-                 IntersectKernel kernel,
-                 std::vector<FrequentItemset>& out, MaxEclatStats& stats) {
-  if (atoms.empty()) return;
-  if (atoms.size() == 1) {
-    ++stats.candidates;
-    out.push_back(FrequentItemset{atoms[0].items, atoms[0].support()});
+/// Recursion state shared across one class: the arena holding each
+/// level's child class, per-depth ping-pong buffers for the top-element
+/// fold, and the kernel/universe the class mines under.
+struct MaxCtx {
+  TidArena& arena;
+  std::deque<std::array<TidSet, 2>>& fold;
+  Count minsup;
+  IntersectKernel kernel;
+  Tid universe;
+  std::vector<FrequentItemset>& out;
+  MaxEclatStats& stats;
+  IntersectStats* istats;
+};
+
+void emit_candidate(const Itemset& prefix, Item suffix, Count support,
+                    MaxCtx& ctx) {
+  ++ctx.stats.candidates;
+  FrequentItemset& found = ctx.out.emplace_back();
+  found.items.reserve(prefix.size() + 1);
+  found.items.assign(prefix.begin(), prefix.end());
+  found.items.push_back(suffix);
+  found.support = support;
+}
+
+/// Collect maximal candidates from the class held in arena level `depth`
+/// (members share arena.prefix()). Every maximal frequent itemset
+/// extending this class's prefix lands in `out` (possibly alongside
+/// non-maximal candidates, removed by the global subsumption filter at
+/// the end).
+void max_recurse(MaxCtx& ctx, std::size_t depth) {
+  TidArena::Level& cur = ctx.arena.level(depth);
+  const std::size_t n = cur.used;
+  Itemset& prefix = ctx.arena.prefix();
+  if (n == 0) return;
+  if (n == 1) {
+    emit_candidate(prefix, cur.suffixes[0], cur.supports[0], ctx);
     return;
   }
 
-  // Top-element test: intersect every atom's tid-list. If the class top
+  // Top-element test: intersect every atom's tid-set. If the class top
   // is frequent, it subsumes the entire sub-lattice.
   {
-    TidList top = atoms[0].tids;
+    if (ctx.fold.size() <= depth) ctx.fold.resize(depth + 1);
+    TidSet* top = &ctx.fold[depth][0];
+    TidSet* spare = &ctx.fold[depth][1];
+    *top = cur.sets[0];
     bool alive = true;
-    for (std::size_t i = 1; i < atoms.size() && alive; ++i) {
-      std::optional<TidList> next =
-          intersect_with_kernel(top, atoms[i].tids, minsup, kernel, nullptr);
-      if (!next) {
-        alive = false;
+    for (std::size_t i = 1; i < n && alive; ++i) {
+      if (intersect_into(*top, cur.sets[i], ctx.minsup, ctx.kernel,
+                         ctx.universe, *spare, ctx.istats)) {
+        std::swap(top, spare);
       } else {
-        top = std::move(*next);
+        alive = false;
       }
     }
     if (alive) {
-      Itemset items = atoms[0].items;
-      for (std::size_t i = 1; i < atoms.size(); ++i) {
-        items.push_back(atoms[i].items.back());
-      }
-      ++stats.top_hits;
-      ++stats.candidates;
-      out.push_back(FrequentItemset{std::move(items),
-                                    static_cast<Count>(top.size())});
+      ++ctx.stats.top_hits;
+      ++ctx.stats.candidates;
+      FrequentItemset& found = ctx.out.emplace_back();
+      found.items.reserve(prefix.size() + n);
+      found.items.assign(prefix.begin(), prefix.end());
+      found.items.insert(found.items.end(), cur.suffixes.begin(),
+                         cur.suffixes.begin() + static_cast<std::ptrdiff_t>(n));
+      found.support = top->support();
       return;
     }
   }
 
   // Bottom-up expansion: atom i's extensions form its child class. An
   // atom with no frequent extension is a maximal candidate itself.
-  for (std::size_t i = 0; i < atoms.size(); ++i) {
-    std::vector<Atom> child_class;
-    for (std::size_t j = i + 1; j < atoms.size(); ++j) {
-      std::optional<TidList> tids = intersect_with_kernel(
-          atoms[i].tids, atoms[j].tids, minsup, kernel, nullptr);
-      if (!tids) continue;
-      Atom child;
-      child.items = atoms[i].items;
-      child.items.push_back(atoms[j].items.back());
-      child.tids = std::move(*tids);
-      child_class.push_back(std::move(child));
+  TidArena::Level& next = ctx.arena.level(depth + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    next.reset();
+    prefix.push_back(cur.suffixes[i]);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      TidSet& slot = next.scratch();
+      if (!intersect_into(cur.sets[i], cur.sets[j], ctx.minsup, ctx.kernel,
+                          ctx.universe, slot, ctx.istats)) {
+        continue;
+      }
+      next.commit(cur.suffixes[j], slot.support());
     }
-    if (child_class.empty()) {
-      ++stats.candidates;
-      out.push_back(FrequentItemset{atoms[i].items, atoms[i].support()});
+    if (next.used == 0) {
+      prefix.pop_back();
+      emit_candidate(prefix, cur.suffixes[i], cur.supports[i], ctx);
     } else {
-      max_recurse(child_class, minsup, kernel, out, stats);
+      max_recurse(ctx, depth + 1);
+      prefix.pop_back();
     }
   }
 }
@@ -119,6 +149,8 @@ MiningResult max_eclat(const HorizontalDatabase& db,
       partition_into_classes(frequent_pairs);
 
   std::vector<FrequentItemset> candidates;
+  TidArena arena;
+  std::deque<std::array<TidSet, 2>> fold;
   for (const EquivalenceClass& eq_class : classes) {
     std::vector<Atom> atoms;
     atoms.reserve(eq_class.members.size());
@@ -127,8 +159,21 @@ MiningResult max_eclat(const HorizontalDatabase& db,
       atoms.push_back(
           Atom{{eq_class.prefix, member}, std::move(tidlists.at(key))});
     }
-    max_recurse(atoms, config.minsup, config.kernel, candidates,
-                local_stats);
+    if (atoms.empty()) continue;
+    const Tid universe = class_universe(atoms);
+    MaxCtx ctx{arena,      fold,       config.minsup, config.kernel,
+               universe,   candidates, local_stats,   nullptr};
+    TidArena::Level& root = arena.level(0);
+    root.reset();
+    for (const Atom& atom : atoms) {
+      TidSet& slot = root.scratch();
+      seed_tidset(atom.tids, universe, config.kernel, slot, nullptr);
+      root.commit(atom.items.back(), atom.support());
+    }
+    arena.prefix().assign(atoms.front().items.begin(),
+                          atoms.front().items.end() - 1);
+    max_recurse(ctx, 0);
+    arena.prefix().clear();
   }
 
   // Frequent singletons are candidates too (maximal when isolated).

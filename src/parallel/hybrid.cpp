@@ -205,6 +205,7 @@ ParallelOutput hybrid_eclat(mc::Cluster& cluster,
     std::vector<FrequentItemset> found;
     self.compute([&] {
       std::vector<std::size_t> histogram;
+      TidArena arena;  // per-processor scratch, reused across its classes
       for (std::size_t c : my_class_ids) {
         const EquivalenceClass& eq_class = plan.classes[c];
         std::vector<Atom> atoms;
@@ -214,7 +215,7 @@ ParallelOutput hybrid_eclat(mc::Cluster& cluster,
           atoms.push_back(
               Atom{{eq_class.prefix, member}, host_lists[host].at(key)});
         }
-        compute_frequent(atoms, config.minsup, config.kernel, found,
+        compute_frequent(atoms, config.minsup, config.kernel, arena, found,
                          histogram);
       }
     });

@@ -399,6 +399,9 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
     self.disk_read(vertical_bytes);
     std::vector<FrequentItemset> found;
     std::vector<std::size_t> histogram;
+    // Strictly per-processor scratch (the arena is not thread-safe);
+    // reused across this processor's classes and the recovery re-mines.
+    TidArena arena;
     for (std::size_t c = 0; c < plan.classes.size(); ++c) {
       const EquivalenceClass& eq_class = plan.classes[c];
       if (eq_class.size() < 2 || class_owner[c] != me) continue;
@@ -411,8 +414,8 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
           atoms.push_back(Atom{{eq_class.prefix, member},
                                std::move(my_lists.at(key))});
         }
-        compute_frequent(atoms, config.minsup, config.kernel, class_found,
-                         histogram);
+        compute_frequent(atoms, config.minsup, config.kernel, arena,
+                         class_found, histogram);
       });
       mc::Blob sealed = wire::seal_frame(checkpoint_bytes(class_found));
       self.disk_write(sealed.size());
@@ -500,7 +503,7 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
                                    reader.get_vector<Tid>()});
             }
             std::vector<std::size_t> recovery_histogram;
-            compute_frequent(atoms, config.minsup, config.kernel,
+            compute_frequent(atoms, config.minsup, config.kernel, arena,
                              class_found, recovery_histogram);
           });
           recovered.put<std::uint64_t>(c);

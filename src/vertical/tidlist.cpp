@@ -14,9 +14,16 @@ bool is_valid_tidlist(std::span<const Tid> tids) {
 }
 
 TidList intersect(std::span<const Tid> a, std::span<const Tid> b) {
+  TidList out;
+  intersect_into(a, b, out);
+  return out;
+}
+
+void intersect_into(std::span<const Tid> a, std::span<const Tid> b,
+                    TidList& out, std::size_t* visited) {
   ECLAT_DCHECK(is_valid_tidlist(a));
   ECLAT_DCHECK(is_valid_tidlist(b));
-  TidList out;
+  out.clear();
   out.reserve(std::min(a.size(), b.size()));
   std::size_t i = 0;
   std::size_t j = 0;
@@ -31,7 +38,7 @@ TidList intersect(std::span<const Tid> a, std::span<const Tid> b) {
       ++j;
     }
   }
-  return out;
+  if (visited != nullptr) *visited += i + j;
 }
 
 std::size_t intersection_size(std::span<const Tid> a, std::span<const Tid> b) {
@@ -57,18 +64,29 @@ std::size_t intersection_size(std::span<const Tid> a, std::span<const Tid> b) {
 std::optional<TidList> intersect_short_circuit(std::span<const Tid> a,
                                                std::span<const Tid> b,
                                                Count minsup) {
+  TidList out;
+  if (!intersect_short_circuit_into(a, b, minsup, out)) return std::nullopt;
+  return out;
+}
+
+bool intersect_short_circuit_into(std::span<const Tid> a,
+                                  std::span<const Tid> b, Count minsup,
+                                  TidList& out, std::size_t* visited) {
   ECLAT_DCHECK(is_valid_tidlist(a));
   ECLAT_DCHECK(is_valid_tidlist(b));
   // Result support <= matched + remaining elements of the shorter list.
-  if (std::min(a.size(), b.size()) < minsup) return std::nullopt;
-  TidList out;
+  if (std::min(a.size(), b.size()) < minsup) return false;
+  out.clear();
   out.reserve(std::min(a.size(), b.size()));
   std::size_t i = 0;
   std::size_t j = 0;
   while (i < a.size() && j < b.size()) {
     const std::size_t bound =
         out.size() + std::min(a.size() - i, b.size() - j);
-    if (bound < minsup) return std::nullopt;
+    if (bound < minsup) {
+      if (visited != nullptr) *visited += i + j;
+      return false;
+    }
     if (a[i] < b[j]) {
       ++i;
     } else if (b[j] < a[i]) {
@@ -79,48 +97,129 @@ std::optional<TidList> intersect_short_circuit(std::span<const Tid> a,
       ++j;
     }
   }
-  if (out.size() < minsup) return std::nullopt;
-  return out;
+  if (visited != nullptr) *visited += i + j;
+  return out.size() >= minsup;
+}
+
+std::optional<Count> intersect_count_bounded(std::span<const Tid> a,
+                                             std::span<const Tid> b,
+                                             Count minsup,
+                                             std::size_t* visited) {
+  ECLAT_DCHECK(is_valid_tidlist(a));
+  ECLAT_DCHECK(is_valid_tidlist(b));
+  if (std::min(a.size(), b.size()) < minsup) return std::nullopt;
+  std::size_t count = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (count + std::min(a.size() - i, b.size() - j) < minsup) {
+      if (visited != nullptr) *visited += i + j;
+      return std::nullopt;
+    }
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  if (visited != nullptr) *visited += i + j;
+  if (count < minsup) return std::nullopt;
+  return count;
 }
 
 namespace {
 
 /// First index in [lo, span.size()) with span[index] >= target, found by
 /// doubling probes from `lo` then binary search within the bracket.
+/// `probes`, when non-null, accumulates the elements compared against.
 std::size_t gallop_lower_bound(std::span<const Tid> span, std::size_t lo,
-                               Tid target) {
+                               Tid target, std::size_t* probes) {
   std::size_t step = 1;
   std::size_t hi = lo;
   while (hi < span.size() && span[hi] < target) {
+    if (probes != nullptr) ++*probes;
     lo = hi + 1;
     hi += step;
     step *= 2;
   }
   hi = std::min(hi, span.size());
-  const auto* begin = span.data() + lo;
-  const auto* end = span.data() + hi;
-  return static_cast<std::size_t>(
-      std::lower_bound(begin, end, target) - span.data());
+  std::size_t width = hi - lo;
+  while (width > 0) {
+    if (probes != nullptr) ++*probes;
+    const std::size_t half = width / 2;
+    if (span[lo + half] < target) {
+      lo += half + 1;
+      width -= half + 1;
+    } else {
+      width = half;
+    }
+  }
+  return lo;
 }
 
 }  // namespace
 
 TidList intersect_gallop(std::span<const Tid> a, std::span<const Tid> b) {
+  TidList out;
+  intersect_gallop_into(a, b, out);
+  return out;
+}
+
+void intersect_gallop_into(std::span<const Tid> a, std::span<const Tid> b,
+                           TidList& out, std::size_t* visited) {
   ECLAT_DCHECK(is_valid_tidlist(a));
   ECLAT_DCHECK(is_valid_tidlist(b));
-  if (a.size() > b.size()) return intersect_gallop(b, a);
-  TidList out;
+  if (a.size() > b.size()) {
+    intersect_gallop_into(b, a, out, visited);
+    return;
+  }
+  out.clear();
   out.reserve(a.size());
   std::size_t j = 0;
+  std::size_t scanned = 0;
   for (const Tid target : a) {
-    j = gallop_lower_bound(b, j, target);
+    ++scanned;
+    j = gallop_lower_bound(b, j, target, visited != nullptr ? &scanned
+                                                            : nullptr);
     if (j == b.size()) break;
     if (b[j] == target) {
       out.push_back(target);
       ++j;
     }
   }
-  return out;
+  if (visited != nullptr) *visited += scanned;
+}
+
+bool difference_bounded_into(std::span<const Tid> a, std::span<const Tid> b,
+                             std::size_t max_size, TidList& out,
+                             std::size_t* visited) {
+  ECLAT_DCHECK(is_valid_tidlist(a));
+  ECLAT_DCHECK(is_valid_tidlist(b));
+  out.clear();
+  out.reserve(std::min(a.size(), max_size + 1));
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size()) {
+    if (j == b.size() || a[i] < b[j]) {
+      if (out.size() == max_size) {
+        if (visited != nullptr) *visited += i + j;
+        return false;
+      }
+      out.push_back(a[i]);
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  if (visited != nullptr) *visited += i + j;
+  return true;
 }
 
 TidList difference(std::span<const Tid> a, std::span<const Tid> b) {

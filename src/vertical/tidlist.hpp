@@ -38,6 +38,42 @@ std::optional<TidList> intersect_short_circuit(std::span<const Tid> a,
 /// shorter than the other. Used by the kernel-ablation benchmark.
 TidList intersect_gallop(std::span<const Tid> a, std::span<const Tid> b);
 
+// ---- In-place, instrumented variants (the arena-backed mining recursion
+// uses these: `out` is cleared and refilled, reusing its capacity). Every
+// variant reports through `visited`, when non-null, the number of input
+// elements it actually inspected — which is what IntersectStats records,
+// so a short-circuited abort no longer counts as a full scan. ----
+
+/// out = a ∩ b by sorted merge.
+void intersect_into(std::span<const Tid> a, std::span<const Tid> b,
+                    TidList& out, std::size_t* visited = nullptr);
+
+/// Short-circuited merge into `out`; false iff provably below `minsup`
+/// (then `out`'s contents are unspecified).
+bool intersect_short_circuit_into(std::span<const Tid> a,
+                                  std::span<const Tid> b, Count minsup,
+                                  TidList& out,
+                                  std::size_t* visited = nullptr);
+
+/// Galloping intersection into `out`. `visited` counts elements of the
+/// short list plus search probes into the long one.
+void intersect_gallop_into(std::span<const Tid> a, std::span<const Tid> b,
+                           TidList& out, std::size_t* visited = nullptr);
+
+/// Support-only short-circuited intersection: the exact |a ∩ b| when it
+/// reaches `minsup`, nullopt otherwise. No output list is materialized —
+/// the mining recursion uses this for children that can never recurse.
+std::optional<Count> intersect_count_bounded(std::span<const Tid> a,
+                                             std::span<const Tid> b,
+                                             Count minsup,
+                                             std::size_t* visited = nullptr);
+
+/// Bounded difference a \ b into `out`: false as soon as the result would
+/// exceed `max_size` elements (the diffset pruning bound).
+bool difference_bounded_into(std::span<const Tid> a, std::span<const Tid> b,
+                             std::size_t max_size, TidList& out,
+                             std::size_t* visited = nullptr);
+
 /// Difference a \ b (used by the failure-injection tests and diffsets
 /// extension).
 TidList difference(std::span<const Tid> a, std::span<const Tid> b);

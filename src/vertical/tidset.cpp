@@ -1,0 +1,531 @@
+#include "vertical/tidset.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace eclat {
+
+namespace {
+
+/// kAuto hands a sparse∩sparse pair to the galloping kernel when one side
+/// is this many times shorter than the other.
+constexpr std::size_t kGallopSkew = 32;
+
+/// sparse ∩ dense by probing the bitset per sparse element, with the
+/// support bound |result| <= matched + sparse elements remaining.
+/// Returns false iff provably below minsup.
+bool probe_into(std::span<const Tid> sparse, const BitsetTidList& dense,
+                Count minsup, TidList& out, IntersectStats* stats) {
+  if (std::min<std::size_t>(sparse.size(), dense.count()) < minsup) {
+    if (stats != nullptr) {
+      ++stats->probe_calls;
+      ++stats->short_circuited;
+    }
+    return false;
+  }
+  out.clear();
+  out.reserve(sparse.size());
+  const std::size_t n = sparse.size();
+  std::size_t i = 0;
+  bool aborted = false;
+  for (; i < n; ++i) {
+    if (out.size() + (n - i) < minsup) {
+      aborted = true;
+      break;
+    }
+    if (dense.test(sparse[i])) out.push_back(sparse[i]);
+  }
+  if (stats != nullptr) {
+    ++stats->probe_calls;
+    stats->tids_scanned += i;
+    if (aborted) ++stats->short_circuited;
+  }
+  return !aborted && out.size() >= minsup;
+}
+
+/// Support-only probe.
+std::optional<Count> probe_count(std::span<const Tid> sparse,
+                                 const BitsetTidList& dense, Count minsup,
+                                 IntersectStats* stats) {
+  if (std::min<std::size_t>(sparse.size(), dense.count()) < minsup) {
+    if (stats != nullptr) {
+      ++stats->probe_calls;
+      ++stats->short_circuited;
+    }
+    return std::nullopt;
+  }
+  const std::size_t n = sparse.size();
+  std::size_t count = 0;
+  std::size_t i = 0;
+  bool aborted = false;
+  for (; i < n; ++i) {
+    if (count + (n - i) < minsup) {
+      aborted = true;
+      break;
+    }
+    count += static_cast<std::size_t>(dense.test(sparse[i]));
+  }
+  if (stats != nullptr) {
+    ++stats->probe_calls;
+    stats->tids_scanned += i;
+    if (aborted) ++stats->short_circuited;
+  }
+  if (aborted || count < minsup) return std::nullopt;
+  return count;
+}
+
+/// Support-only gallop: |a ∩ b| counting search probes like
+/// intersect_gallop_into does.
+Count gallop_count(std::span<const Tid> a, std::span<const Tid> b,
+                   std::size_t* visited) {
+  if (a.size() > b.size()) return gallop_count(b, a, visited);
+  Count count = 0;
+  std::size_t j = 0;
+  std::size_t scanned = 0;
+  for (const Tid target : a) {
+    ++scanned;
+    // Doubling probes then binary search, mirroring tidlist.cpp.
+    std::size_t lo = j;
+    std::size_t step = 1;
+    std::size_t hi = lo;
+    while (hi < b.size() && b[hi] < target) {
+      ++scanned;
+      lo = hi + 1;
+      hi += step;
+      step *= 2;
+    }
+    hi = std::min(hi, b.size());
+    std::size_t width = hi - lo;
+    while (width > 0) {
+      ++scanned;
+      const std::size_t half = width / 2;
+      if (b[lo + half] < target) {
+        lo += half + 1;
+        width -= half + 1;
+      } else {
+        width = half;
+      }
+    }
+    j = lo;
+    if (j == b.size()) break;
+    if (b[j] == target) {
+      ++count;
+      ++j;
+    }
+  }
+  if (visited != nullptr) *visited += scanned;
+  return count;
+}
+
+bool sparse_pair_skewed(std::size_t a, std::size_t b) {
+  return std::min(a, b) * kGallopSkew < std::max(a, b);
+}
+
+}  // namespace
+
+const char* kernel_name(IntersectKernel kernel) {
+  switch (kernel) {
+    case IntersectKernel::kMerge:
+      return "merge";
+    case IntersectKernel::kMergeShortCircuit:
+      return "short-circuit";
+    case IntersectKernel::kGallop:
+      return "gallop";
+    case IntersectKernel::kBitset:
+      return "bitset";
+    case IntersectKernel::kAuto:
+      return "auto";
+  }
+  ECLAT_UNREACHABLE("unknown IntersectKernel");
+}
+
+std::optional<IntersectKernel> kernel_from_name(std::string_view name) {
+  if (name == "merge") return IntersectKernel::kMerge;
+  if (name == "short-circuit") return IntersectKernel::kMergeShortCircuit;
+  if (name == "gallop") return IntersectKernel::kGallop;
+  if (name == "bitset") return IntersectKernel::kBitset;
+  if (name == "auto") return IntersectKernel::kAuto;
+  return std::nullopt;
+}
+
+std::span<const Tid> TidSet::tids() const {
+  ECLAT_DCHECK(!dense_);
+  return tids_;
+}
+
+const BitsetTidList& TidSet::bits() const {
+  ECLAT_DCHECK(dense_);
+  return bits_;
+}
+
+void TidSet::assign_sparse(std::span<const Tid> tids) {
+  ECLAT_DCHECK(is_valid_tidlist(tids));
+  tids_.assign(tids.begin(), tids.end());
+  dense_ = false;
+}
+
+void TidSet::assign_dense(std::span<const Tid> tids, Tid universe) {
+  bits_.assign(tids, universe);
+  dense_ = true;
+}
+
+bool TidSet::prefers_dense(std::size_t size, Tid universe) {
+  return size > 0 && (static_cast<std::uint64_t>(size) << 6) >= universe;
+}
+
+void TidSet::normalize(Tid universe, IntersectStats* stats) {
+  const bool want_dense = prefers_dense(support(), universe);
+  if (want_dense == dense_) return;
+  if (want_dense) {
+    bits_.assign(tids_, universe);
+    dense_ = true;
+    if (stats != nullptr) ++stats->densified;
+  } else {
+    tids_.clear();
+    tids_.reserve(bits_.count());
+    bits_.append_to(tids_);
+    dense_ = false;
+    if (stats != nullptr) ++stats->sparsified;
+  }
+}
+
+void TidSet::append_to(TidList& out) const {
+  if (dense_) {
+    bits_.append_to(out);
+  } else {
+    out.insert(out.end(), tids_.begin(), tids_.end());
+  }
+}
+
+TidList TidSet::to_tidlist() const {
+  TidList out;
+  out.reserve(support());
+  append_to(out);
+  return out;
+}
+
+void seed_tidset(std::span<const Tid> tids, Tid universe,
+                 IntersectKernel kernel, TidSet& out,
+                 IntersectStats* stats) {
+  const bool dense =
+      kernel == IntersectKernel::kBitset ||
+      (kernel == IntersectKernel::kAuto &&
+       TidSet::prefers_dense(tids.size(), universe));
+  if (dense) {
+    out.bits_.assign(tids, universe);
+    out.dense_ = true;
+    if (stats != nullptr) ++stats->densified;
+  } else {
+    out.tids_.assign(tids.begin(), tids.end());
+    out.dense_ = false;
+  }
+}
+
+bool intersect_into(const TidSet& a, const TidSet& b, Count minsup,
+                    IntersectKernel kernel, Tid universe, TidSet& out,
+                    IntersectStats* stats) {
+  ECLAT_DCHECK(&out != &a && &out != &b);
+  if (stats != nullptr) ++stats->intersections;
+  std::size_t visited = 0;
+  std::size_t* const vp = stats != nullptr ? &visited : nullptr;
+  bool ok = false;
+  switch (kernel) {
+    case IntersectKernel::kMerge: {
+      ECLAT_DCHECK(!a.dense_ && !b.dense_);
+      intersect_into(a.tids_, b.tids_, out.tids_, vp);
+      out.dense_ = false;
+      ok = out.tids_.size() >= minsup;
+      if (stats != nullptr) {
+        ++stats->merge_calls;
+        stats->tids_scanned += visited;
+      }
+      return ok;
+    }
+    case IntersectKernel::kMergeShortCircuit: {
+      ECLAT_DCHECK(!a.dense_ && !b.dense_);
+      ok = intersect_short_circuit_into(a.tids_, b.tids_, minsup, out.tids_,
+                                        vp);
+      out.dense_ = false;
+      if (stats != nullptr) {
+        ++stats->merge_calls;
+        stats->tids_scanned += visited;
+        if (!ok) ++stats->short_circuited;
+      }
+      return ok;
+    }
+    case IntersectKernel::kGallop: {
+      ECLAT_DCHECK(!a.dense_ && !b.dense_);
+      intersect_gallop_into(a.tids_, b.tids_, out.tids_, vp);
+      out.dense_ = false;
+      ok = out.tids_.size() >= minsup;
+      if (stats != nullptr) {
+        ++stats->gallop_calls;
+        stats->tids_scanned += visited;
+      }
+      return ok;
+    }
+    case IntersectKernel::kBitset: {
+      ECLAT_DCHECK(a.dense_ && b.dense_);
+      std::uint64_t words = 0;
+      ok = out.bits_.assign_and_bounded(
+          a.bits_, b.bits_, minsup, stats != nullptr ? &words : nullptr);
+      out.dense_ = true;
+      if (stats != nullptr) {
+        ++stats->bitset_calls;
+        stats->words_scanned += words;
+        if (!ok) ++stats->short_circuited;
+      }
+      return ok;
+    }
+    case IntersectKernel::kAuto:
+      break;  // dispatched below
+  }
+
+  // kAuto: dispatch on the operands' representations, then normalize the
+  // result's representation by the density threshold.
+  if (a.dense_ && b.dense_) {
+    std::uint64_t words = 0;
+    ok = out.bits_.assign_and_bounded(a.bits_, b.bits_, minsup,
+                                      stats != nullptr ? &words : nullptr);
+    out.dense_ = true;
+    if (stats != nullptr) {
+      ++stats->bitset_calls;
+      stats->words_scanned += words;
+      if (!ok) ++stats->short_circuited;
+    }
+  } else if (a.dense_ != b.dense_) {
+    const TidSet& sparse = a.dense_ ? b : a;
+    const TidSet& dense = a.dense_ ? a : b;
+    ok = probe_into(sparse.tids_, dense.bits_, minsup, out.tids_, stats);
+    out.dense_ = false;
+  } else if (sparse_pair_skewed(a.tids_.size(), b.tids_.size())) {
+    if (std::min(a.tids_.size(), b.tids_.size()) < minsup) {
+      if (stats != nullptr) {
+        ++stats->gallop_calls;
+        ++stats->short_circuited;
+      }
+      return false;
+    }
+    intersect_gallop_into(a.tids_, b.tids_, out.tids_, vp);
+    out.dense_ = false;
+    ok = out.tids_.size() >= minsup;
+    if (stats != nullptr) {
+      ++stats->gallop_calls;
+      stats->tids_scanned += visited;
+    }
+  } else if (minsup > 1) {
+    ok = intersect_short_circuit_into(a.tids_, b.tids_, minsup, out.tids_,
+                                      vp);
+    out.dense_ = false;
+    if (stats != nullptr) {
+      ++stats->merge_calls;
+      stats->tids_scanned += visited;
+      if (!ok) ++stats->short_circuited;
+    }
+  } else {
+    // Bound bookkeeping cannot pay off at minsup <= 1: plain merge.
+    intersect_into(a.tids_, b.tids_, out.tids_, vp);
+    out.dense_ = false;
+    ok = out.tids_.size() >= minsup;
+    if (stats != nullptr) {
+      ++stats->merge_calls;
+      stats->tids_scanned += visited;
+    }
+  }
+  if (ok) out.normalize(universe, stats);
+  return ok;
+}
+
+std::optional<Count> intersect_support(const TidSet& a, const TidSet& b,
+                                       Count minsup, IntersectKernel kernel,
+                                       IntersectStats* stats) {
+  if (stats != nullptr) {
+    ++stats->intersections;
+    ++stats->count_only;
+  }
+  std::size_t visited = 0;
+  std::size_t* const vp = stats != nullptr ? &visited : nullptr;
+  std::optional<Count> result;
+  switch (kernel) {
+    case IntersectKernel::kMerge: {
+      ECLAT_DCHECK(!a.dense_ && !b.dense_);
+      // minsup 0 disarms the bound: a full scan, checked afterwards.
+      const std::optional<Count> count =
+          intersect_count_bounded(a.tids_, b.tids_, 0, vp);
+      result = (count && *count >= minsup) ? count : std::nullopt;
+      if (stats != nullptr) {
+        ++stats->merge_calls;
+        stats->tids_scanned += visited;
+      }
+      return result;
+    }
+    case IntersectKernel::kMergeShortCircuit: {
+      ECLAT_DCHECK(!a.dense_ && !b.dense_);
+      result = intersect_count_bounded(a.tids_, b.tids_, minsup, vp);
+      if (stats != nullptr) {
+        ++stats->merge_calls;
+        stats->tids_scanned += visited;
+        if (!result) ++stats->short_circuited;
+      }
+      return result;
+    }
+    case IntersectKernel::kGallop: {
+      ECLAT_DCHECK(!a.dense_ && !b.dense_);
+      const Count count = gallop_count(a.tids_, b.tids_, vp);
+      result = count >= minsup ? std::optional<Count>(count) : std::nullopt;
+      if (stats != nullptr) {
+        ++stats->gallop_calls;
+        stats->tids_scanned += visited;
+      }
+      return result;
+    }
+    case IntersectKernel::kBitset: {
+      ECLAT_DCHECK(a.dense_ && b.dense_);
+      std::uint64_t words = 0;
+      const std::optional<std::size_t> count = BitsetTidList::and_count(
+          a.bits_, b.bits_, minsup, stats != nullptr ? &words : nullptr);
+      if (stats != nullptr) {
+        ++stats->bitset_calls;
+        stats->words_scanned += words;
+        if (!count) ++stats->short_circuited;
+      }
+      if (!count) return std::nullopt;
+      return static_cast<Count>(*count);
+    }
+    case IntersectKernel::kAuto:
+      break;  // dispatched below
+  }
+
+  if (a.dense_ && b.dense_) {
+    std::uint64_t words = 0;
+    const std::optional<std::size_t> count = BitsetTidList::and_count(
+        a.bits_, b.bits_, minsup, stats != nullptr ? &words : nullptr);
+    if (stats != nullptr) {
+      ++stats->bitset_calls;
+      stats->words_scanned += words;
+      if (!count) ++stats->short_circuited;
+    }
+    if (!count) return std::nullopt;
+    return static_cast<Count>(*count);
+  }
+  if (a.dense_ != b.dense_) {
+    const TidSet& sparse = a.dense_ ? b : a;
+    const TidSet& dense = a.dense_ ? a : b;
+    return probe_count(sparse.tids_, dense.bits_, minsup, stats);
+  }
+  if (sparse_pair_skewed(a.tids_.size(), b.tids_.size())) {
+    if (std::min(a.tids_.size(), b.tids_.size()) < minsup) {
+      if (stats != nullptr) {
+        ++stats->gallop_calls;
+        ++stats->short_circuited;
+      }
+      return std::nullopt;
+    }
+    const Count count = gallop_count(a.tids_, b.tids_, vp);
+    result = count >= minsup ? std::optional<Count>(count) : std::nullopt;
+    if (stats != nullptr) {
+      ++stats->gallop_calls;
+      stats->tids_scanned += visited;
+    }
+    return result;
+  }
+  result = intersect_count_bounded(a.tids_, b.tids_, minsup, vp);
+  if (stats != nullptr) {
+    ++stats->merge_calls;
+    stats->tids_scanned += visited;
+    if (!result) ++stats->short_circuited;
+  }
+  return result;
+}
+
+bool difference_into(const TidSet& a, const TidSet& b, std::size_t budget,
+                     IntersectKernel kernel, Tid universe, TidSet& out,
+                     IntersectStats* stats) {
+  ECLAT_DCHECK(&out != &a && &out != &b);
+  std::size_t visited = 0;
+  std::size_t* const vp = stats != nullptr ? &visited : nullptr;
+  bool ok = false;
+  switch (kernel) {
+    case IntersectKernel::kMerge:
+    case IntersectKernel::kMergeShortCircuit:
+    case IntersectKernel::kGallop: {
+      // The budget bound is dEclat's algorithmic pruning rule, not an
+      // optional optimization, so every sparse kernel keeps it (galloping
+      // has no difference analogue and falls back to the merge).
+      ECLAT_DCHECK(!a.dense_ && !b.dense_);
+      ok = difference_bounded_into(a.tids_, b.tids_, budget, out.tids_, vp);
+      out.dense_ = false;
+      if (stats != nullptr) {
+        ++stats->merge_calls;
+        stats->tids_scanned += visited;
+      }
+      return ok;
+    }
+    case IntersectKernel::kBitset: {
+      ECLAT_DCHECK(a.dense_ && b.dense_);
+      std::uint64_t words = 0;
+      ok = out.bits_.assign_andnot_bounded(
+          a.bits_, b.bits_, budget, stats != nullptr ? &words : nullptr);
+      out.dense_ = true;
+      if (stats != nullptr) {
+        ++stats->bitset_calls;
+        stats->words_scanned += words;
+      }
+      return ok;
+    }
+    case IntersectKernel::kAuto:
+      break;  // dispatched below
+  }
+
+  if (a.dense_ && b.dense_) {
+    std::uint64_t words = 0;
+    ok = out.bits_.assign_andnot_bounded(a.bits_, b.bits_, budget,
+                                         stats != nullptr ? &words : nullptr);
+    out.dense_ = true;
+    if (stats != nullptr) {
+      ++stats->bitset_calls;
+      stats->words_scanned += words;
+    }
+  } else if (!a.dense_ && b.dense_) {
+    out.tids_.clear();
+    out.tids_.reserve(std::min(a.tids_.size(), budget + 1));
+    std::size_t i = 0;
+    ok = true;
+    for (; i < a.tids_.size(); ++i) {
+      if (!b.bits_.test(a.tids_[i])) {
+        if (out.tids_.size() == budget) {
+          ok = false;
+          break;
+        }
+        out.tids_.push_back(a.tids_[i]);
+      }
+    }
+    out.dense_ = false;
+    if (stats != nullptr) {
+      ++stats->probe_calls;
+      stats->tids_scanned += i;
+    }
+  } else if (a.dense_ && !b.dense_) {
+    std::uint64_t words = 0;
+    ok = out.bits_.assign_minus_sparse(a.bits_, b.tids_, budget,
+                                       stats != nullptr ? &words : nullptr);
+    out.dense_ = true;
+    if (stats != nullptr) {
+      ++stats->probe_calls;
+      stats->words_scanned += words;
+      stats->tids_scanned += b.tids_.size();
+    }
+  } else {
+    ok = difference_bounded_into(a.tids_, b.tids_, budget, out.tids_, vp);
+    out.dense_ = false;
+    if (stats != nullptr) {
+      ++stats->merge_calls;
+      stats->tids_scanned += visited;
+    }
+  }
+  if (ok) out.normalize(universe, stats);
+  return ok;
+}
+
+}  // namespace eclat

@@ -1,0 +1,152 @@
+// Adaptive tid-set layer: every tid-list in the mining recursion is held
+// either sparse (sorted vector of tids) or dense (BitsetTidList), picked
+// per list by a density threshold over the class's tid universe.
+//
+// Selection rule: a list of n tids over universe U goes dense when
+// n · 64 >= U — i.e. when the bitset's words (U/64 of them) are no more
+// numerous than the list's elements. A word-AND-popcount intersection
+// costs ~U/64 branch-free word ops against ~c·(n_a + n_b) branchy
+// compares for the sorted merge, so the raw crossover sits near density
+// 1/128; one power of two of headroom pays for the sparse→dense
+// conversions at class boundaries and the dense→sparse decode of results
+// that fall back under the threshold (full derivation in DESIGN.md §5).
+//
+// Representations convert only at class boundaries: atoms are seeded into
+// their preferred representation when a class enters the recursion, each
+// child is normalized right after its intersection materializes, and
+// mixed sparse∩dense intersections run directly (probe the bitset per
+// sparse element) rather than converting an operand.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "vertical/bitset_tidlist.hpp"
+#include "vertical/tidlist.hpp"
+
+namespace eclat {
+
+/// Intersection kernel selection. kMerge/kMergeShortCircuit/kGallop force
+/// the sparse representation everywhere (the paper's kernels); kBitset
+/// forces dense; kAuto dispatches at runtime — gallop when one sparse
+/// list is 32× shorter than the other, word-AND when both operands are
+/// dense, short-circuited merge otherwise — with the representation of
+/// every list chosen by the density threshold.
+enum class IntersectKernel : std::uint8_t {
+  kMerge,
+  kMergeShortCircuit,  // the paper's default
+  kGallop,
+  kBitset,  // dense word-AND + popcount for every list
+  kAuto,    // runtime dispatch over adaptive representations
+};
+
+/// Canonical lowercase name ("merge", "short-circuit", "gallop",
+/// "bitset", "auto") — the spelling the bench/example --kernel flags use.
+const char* kernel_name(IntersectKernel kernel);
+
+/// Inverse of kernel_name; nullopt on an unknown name.
+std::optional<IntersectKernel> kernel_from_name(std::string_view name);
+
+/// Counters the ablation benchmarks read back. Scan counters record work
+/// actually performed: a short-circuited abort adds only the elements (or
+/// words) inspected before the bound fired, never the full input sizes.
+struct IntersectStats {
+  std::uint64_t intersections = 0;    ///< kernel invocations
+  std::uint64_t short_circuited = 0;  ///< aborted early by the bound
+  std::uint64_t tids_scanned = 0;     ///< sparse elements actually visited
+  std::uint64_t words_scanned = 0;    ///< bitset words actually ANDed
+  std::uint64_t merge_calls = 0;      ///< sparse∩sparse merges
+  std::uint64_t gallop_calls = 0;     ///< sparse∩sparse gallops
+  std::uint64_t bitset_calls = 0;     ///< dense∩dense word kernels
+  std::uint64_t probe_calls = 0;      ///< sparse∩dense bit probes
+  std::uint64_t count_only = 0;       ///< support-only evaluations
+  std::uint64_t densified = 0;        ///< sparse→dense conversions
+  std::uint64_t sparsified = 0;       ///< dense→sparse conversions
+};
+
+/// One tid-list in either representation. Assign/intersect operations
+/// reuse the internal buffers, so a TidSet slot held in a TidArena level
+/// stops allocating once warmed up.
+class TidSet {
+ public:
+  TidSet() = default;
+
+  bool dense() const { return dense_; }
+  Count support() const {
+    return dense_ ? bits_.count() : tids_.size();
+  }
+  bool empty() const { return support() == 0; }
+
+  /// Sorted tids; only valid while sparse.
+  std::span<const Tid> tids() const;
+  /// Bitset; only valid while dense.
+  const BitsetTidList& bits() const;
+
+  void assign_sparse(std::span<const Tid> tids);
+  void assign_dense(std::span<const Tid> tids, Tid universe);
+
+  /// True iff the density threshold prefers the dense representation for
+  /// a list of `size` tids over `universe` transactions (size·64 >= U).
+  static bool prefers_dense(std::size_t size, Tid universe);
+
+  /// Convert to whichever representation prefers_dense picks; no-op when
+  /// already there. Counts conversions into `stats` when given.
+  void normalize(Tid universe, IntersectStats* stats);
+
+  /// Decode to a sorted tid-list regardless of representation.
+  void append_to(TidList& out) const;
+  TidList to_tidlist() const;
+
+ private:
+  friend void seed_tidset(std::span<const Tid>, Tid, IntersectKernel,
+                          TidSet&, IntersectStats*);
+  friend bool intersect_into(const TidSet&, const TidSet&, Count,
+                             IntersectKernel, Tid, TidSet&,
+                             IntersectStats*);
+  friend std::optional<Count> intersect_support(const TidSet&, const TidSet&,
+                                                Count, IntersectKernel,
+                                                IntersectStats*);
+  friend bool difference_into(const TidSet&, const TidSet&, std::size_t,
+                              IntersectKernel, Tid, TidSet&,
+                              IntersectStats*);
+
+  TidList tids_;         // sparse storage (and decode scratch)
+  BitsetTidList bits_;   // dense storage
+  bool dense_ = false;
+};
+
+/// Load `tids` into `out` in the representation `kernel` mandates for a
+/// class over `universe`: sparse for the paper's kernels, dense for
+/// kBitset, threshold-chosen for kAuto.
+void seed_tidset(std::span<const Tid> tids, Tid universe,
+                 IntersectKernel kernel, TidSet& out,
+                 IntersectStats* stats);
+
+/// out = a ∩ b through the dispatched kernel, short-circuiting below
+/// `minsup`. Returns false iff the result provably misses minsup (then
+/// out is unspecified). `out` must not alias `a` or `b`. Under kAuto the
+/// result representation is normalized by the density threshold.
+bool intersect_into(const TidSet& a, const TidSet& b, Count minsup,
+                    IntersectKernel kernel, Tid universe, TidSet& out,
+                    IntersectStats* stats);
+
+/// Support-only variant: |a ∩ b| when it reaches minsup, nullopt
+/// otherwise. Nothing is materialized — the recursion uses this for
+/// children that can never recurse (singleton child classes).
+std::optional<Count> intersect_support(const TidSet& a, const TidSet& b,
+                                       Count minsup,
+                                       IntersectKernel kernel,
+                                       IntersectStats* stats);
+
+/// out = a \ b, aborting as soon as the result would exceed `budget`
+/// elements (the diffset pruning bound). Same dispatch/normalization
+/// rules as intersect_into; kGallop falls back to the sparse merge
+/// (galloping has no difference analogue).
+bool difference_into(const TidSet& a, const TidSet& b, std::size_t budget,
+                     IntersectKernel kernel, Tid universe, TidSet& out,
+                     IntersectStats* stats);
+
+}  // namespace eclat

@@ -87,6 +87,31 @@ TEST_P(DifferentialSweep, AllSequentialAlgorithmsAgree) {
         << "eclat gallop";
   }
   {
+    EclatConfig config;
+    config.minsup = c.minsup;
+    config.kernel = IntersectKernel::kBitset;
+    EXPECT_TRUE(
+        testutil::same_itemsets(eclat_sequential(db, config), reference))
+        << "eclat bitset";
+  }
+  {
+    EclatConfig config;
+    config.minsup = c.minsup;
+    config.kernel = IntersectKernel::kAuto;
+    EXPECT_TRUE(
+        testutil::same_itemsets(eclat_sequential(db, config), reference))
+        << "eclat auto";
+  }
+  {
+    EclatConfig config;
+    config.minsup = c.minsup;
+    config.kernel = IntersectKernel::kAuto;
+    config.use_diffsets = true;
+    EXPECT_TRUE(
+        testutil::same_itemsets(eclat_sequential(db, config), reference))
+        << "eclat auto diffsets";
+  }
+  {
     DhpConfig config;
     config.minsup = c.minsup;
     config.hash_buckets = 512;  // heavy collisions on purpose

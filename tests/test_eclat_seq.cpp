@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "apriori/apriori.hpp"
+#include "common/rng.hpp"
 #include "eclat/compute_frequent.hpp"
 #include "test_util.hpp"
 
@@ -106,20 +107,98 @@ TEST(EclatSeq, MatchesAprioriExactly) {
   }
 }
 
+constexpr IntersectKernel kAllKernels[] = {
+    IntersectKernel::kMerge, IntersectKernel::kMergeShortCircuit,
+    IntersectKernel::kGallop, IntersectKernel::kBitset,
+    IntersectKernel::kAuto};
+
 TEST(EclatSeq, AllKernelsAgree) {
   const HorizontalDatabase db = small_quest_db();
-  MiningResult results[3];
-  const IntersectKernel kernels[] = {IntersectKernel::kMerge,
-                                     IntersectKernel::kMergeShortCircuit,
-                                     IntersectKernel::kGallop};
-  for (int i = 0; i < 3; ++i) {
-    EclatConfig config;
-    config.minsup = 5;
-    config.kernel = kernels[i];
-    results[i] = eclat_sequential(db, config);
+  EclatConfig config;
+  config.minsup = 5;
+  const MiningResult reference = eclat_sequential(db, config);
+  for (IntersectKernel kernel : kAllKernels) {
+    config.kernel = kernel;
+    const MiningResult result = eclat_sequential(db, config);
+    EXPECT_TRUE(same_itemsets(reference, result)) << kernel_name(kernel);
+    // Beyond set equality: identical ordering and supports end to end.
+    EXPECT_EQ(reference.itemsets, result.itemsets) << kernel_name(kernel);
   }
-  EXPECT_TRUE(same_itemsets(results[0], results[1]));
-  EXPECT_TRUE(same_itemsets(results[0], results[2]));
+}
+
+TEST(EclatSeq, AllKernelsAgreeWithDiffsets) {
+  const HorizontalDatabase db = small_quest_db();
+  EclatConfig config;
+  config.minsup = 5;
+  const MiningResult reference = eclat_sequential(db, config);
+  for (IntersectKernel kernel : kAllKernels) {
+    config.kernel = kernel;
+    config.use_diffsets = true;
+    const MiningResult result = eclat_sequential(db, config);
+    EXPECT_EQ(reference.itemsets, result.itemsets) << kernel_name(kernel);
+  }
+}
+
+// The seed's recursive formulation of Compute_Frequent (heap-allocated
+// child classes, plain intersections), kept as the oracle the arena-backed
+// rewrite must match *byte for byte* — same itemsets, same order, same
+// supports, same histogram.
+void reference_compute_frequent(const std::vector<Atom>& class_atoms,
+                                Count minsup,
+                                std::vector<FrequentItemset>& out,
+                                std::vector<std::size_t>& size_histogram) {
+  if (class_atoms.size() < 2) return;
+  for (std::size_t i = 0; i + 1 < class_atoms.size(); ++i) {
+    std::vector<Atom> child_class;
+    for (std::size_t j = i + 1; j < class_atoms.size(); ++j) {
+      TidList tids = intersect(class_atoms[i].tids, class_atoms[j].tids);
+      if (tids.size() < minsup) continue;
+      Atom child;
+      child.items = class_atoms[i].items;
+      child.items.push_back(class_atoms[j].items.back());
+      child.tids = std::move(tids);
+      const std::size_t size = child.items.size();
+      if (size_histogram.size() <= size) size_histogram.resize(size + 1, 0);
+      ++size_histogram[size];
+      out.push_back(FrequentItemset{child.items, child.support()});
+      child_class.push_back(std::move(child));
+    }
+    reference_compute_frequent(child_class, minsup, out, size_histogram);
+  }
+}
+
+TEST(ComputeFrequent, ArenaOutputByteIdenticalToReferenceAcrossKernels) {
+  Rng rng(2024);
+  TidArena arena;  // shared across trials: reuse must not leak state
+  for (int trial = 0; trial < 20; ++trial) {
+    // A random class of 2..7 atoms over a universe that puts some lists
+    // on each side of the density threshold.
+    const std::size_t n_atoms = 2 + static_cast<std::size_t>(rng.below(6));
+    const Tid universe = 64 + static_cast<Tid>(rng.below(400));
+    std::vector<Atom> atoms;
+    for (std::size_t m = 0; m < n_atoms; ++m) {
+      TidList tids;
+      const double density = 0.05 + 0.9 * rng.uniform();
+      for (Tid t = 0; t < universe; ++t) {
+        if (rng.uniform() < density) tids.push_back(t);
+      }
+      if (tids.empty()) tids.push_back(static_cast<Tid>(m));
+      atoms.push_back(Atom{{7, static_cast<Item>(10 + m)}, std::move(tids)});
+    }
+    const Count minsup = 1 + static_cast<Count>(rng.below(universe / 4));
+
+    std::vector<FrequentItemset> expected;
+    std::vector<std::size_t> expected_histogram;
+    reference_compute_frequent(atoms, minsup, expected, expected_histogram);
+
+    for (IntersectKernel kernel : kAllKernels) {
+      std::vector<FrequentItemset> found;
+      std::vector<std::size_t> histogram;
+      compute_frequent(atoms, minsup, kernel, arena, found, histogram);
+      EXPECT_EQ(found, expected) << kernel_name(kernel);
+      EXPECT_EQ(histogram, expected_histogram) << kernel_name(kernel);
+    }
+  }
 }
 
 TEST(EclatSeq, PaperModeSkipsSingletons) {

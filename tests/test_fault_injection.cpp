@@ -40,15 +40,16 @@ mc::CostModel modeled_time_only() {
   return cost;
 }
 
-ParallelOutput run_with_plan(const HorizontalDatabase& db,
-                             const mc::FaultPlan& plan,
-                             const mc::Topology& topology = {2, 2},
-                             mc::Trace* trace = nullptr) {
+ParallelOutput run_with_plan(
+    const HorizontalDatabase& db, const mc::FaultPlan& plan,
+    const mc::Topology& topology = {2, 2}, mc::Trace* trace = nullptr,
+    IntersectKernel kernel = IntersectKernel::kMergeShortCircuit) {
   mc::Cluster cluster(topology, modeled_time_only());
   cluster.set_fault_plan(plan);
   if (trace != nullptr) cluster.set_trace(trace);
   ParEclatConfig config;
   config.minsup = kMinsup;
+  config.kernel = kernel;
   return par_eclat(cluster, db, config);
 }
 
@@ -122,6 +123,33 @@ TEST(FaultInjection, CrashAfterClassCheckpointRecoversFromCheckpoints) {
     EXPECT_TRUE(same_itemsets(output.result, reference)) << where;
     if (output.run_report.crashed() == 1) {
       EXPECT_GT(output.phase_seconds.count("recovery"), 0u) << where;
+    }
+  }
+}
+
+TEST(FaultInjection, CrashRecoveryIdenticalAcrossIntersectKernels) {
+  // The recovery re-mine path must yield the same output no matter which
+  // intersection kernel (including the dense bitset and the adaptive auto
+  // dispatch) par_eclat is configured with.
+  const HorizontalDatabase db = test_db();
+  const MiningResult reference = reference_result(db);
+  const mc::Topology topology{2, 2};
+  const IntersectKernel kernels[] = {
+      IntersectKernel::kMerge, IntersectKernel::kMergeShortCircuit,
+      IntersectKernel::kGallop, IntersectKernel::kBitset,
+      IntersectKernel::kAuto};
+
+  for (IntersectKernel kernel : kernels) {
+    for (std::size_t victim = 0; victim < topology.total(); ++victim) {
+      mc::FaultPlan plan;
+      plan.events.push_back(
+          mc::FaultPlan::crash(victim, mc::FaultOp::kAllGather, "reduction"));
+      const ParallelOutput output =
+          run_with_plan(db, plan, topology, nullptr, kernel);
+      const std::string where = std::string(kernel_name(kernel)) +
+                                " victim=" + std::to_string(victim);
+      EXPECT_EQ(output.run_report.crashed(), 1u) << where;
+      EXPECT_TRUE(same_itemsets(output.result, reference)) << where;
     }
   }
 }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "common/clock.hpp"
 
 namespace eclat {
@@ -62,6 +64,20 @@ TEST(Flags, FlagFollowedByFlagIsBoolean) {
   const Flags flags = parse({"--verbose", "--out=x"});
   EXPECT_TRUE(flags.get_bool("verbose", false));
   EXPECT_EQ(flags.get("out", ""), "x");
+}
+
+TEST(Flags, ChoiceAcceptsListedValues) {
+  constexpr std::string_view kKernels[] = {"merge", "gallop", "auto"};
+  EXPECT_EQ(parse({"--kernel=gallop"}).get_choice("kernel", kKernels, "merge"),
+            "gallop");
+  EXPECT_EQ(parse({}).get_choice("kernel", kKernels, "merge"), "merge");
+}
+
+TEST(Flags, ChoiceRejectsUnknownValue) {
+  constexpr std::string_view kKernels[] = {"merge", "gallop"};
+  EXPECT_THROW(parse({"--kernel=simd"}).get_choice("kernel", kKernels,
+                                                   "merge"),
+               std::invalid_argument);
 }
 
 TEST(Clock, MonotonicWallClock) {

@@ -6,6 +6,9 @@
 #include <tuple>
 
 #include "common/rng.hpp"
+#include "eclat/compute_frequent.hpp"
+#include "vertical/bitset_tidlist.hpp"
+#include "vertical/tidset.hpp"
 
 namespace eclat {
 namespace {
@@ -144,6 +147,288 @@ TEST(TidList, IntersectionAlgebraProperties) {
     EXPECT_EQ(unite(a, b).size(), a.size() + b.size() - ab.size());
     EXPECT_TRUE(is_valid_tidlist(ab));
   }
+}
+
+TidList random_list(Rng& rng, Tid universe, double density) {
+  TidList out;
+  for (Tid t = 0; t < universe; ++t) {
+    if (rng.uniform() < density) out.push_back(t);
+  }
+  return out;
+}
+
+// Adversarial operand pairs every kernel must agree on: disjoint ranges,
+// nested lists, single elements, and empties.
+std::vector<std::pair<TidList, TidList>> adversarial_pairs() {
+  return {
+      {{}, {}},
+      {{5}, {}},
+      {{}, {0, 1, 2}},
+      {{0, 1, 2, 3}, {4, 5, 6, 7}},            // disjoint ranges
+      {{0, 2, 4, 6}, {1, 3, 5, 7}},            // disjoint interleaved
+      {{10, 20, 30, 40}, {20, 30}},            // nested
+      {{63}, {63}},                            // word-boundary single
+      {{64}, {63, 64, 65}},                    // straddles a word edge
+      {{0, 63, 64, 127, 128}, {63, 128}},      // word-boundary pattern
+      {{7}, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}},   // single vs run
+  };
+}
+
+TEST(BitsetTidList, RoundTripAcrossWordBoundaries) {
+  Rng rng(11);
+  for (Tid universe : {1u, 63u, 64u, 65u, 127u, 128u, 1000u}) {
+    for (double density : {0.0, 0.05, 0.5, 1.0}) {
+      const TidList tids = random_list(rng, universe, density);
+      BitsetTidList bits;
+      bits.assign(tids, universe);
+      EXPECT_EQ(bits.count(), tids.size());
+      EXPECT_EQ(bits.to_tidlist(), tids);
+      for (Tid t = 0; t < universe; ++t) {
+        EXPECT_EQ(bits.test(t),
+                  std::binary_search(tids.begin(), tids.end(), t));
+      }
+      EXPECT_FALSE(bits.test(universe));      // out of range: never set
+      EXPECT_FALSE(bits.test(universe + 1));
+    }
+  }
+}
+
+TEST(BitsetTidList, AndMatchesSparseIntersect) {
+  Rng rng(22);
+  constexpr Tid kUniverse = 400;
+  for (int trial = 0; trial < 60; ++trial) {
+    const TidList a = random_list(rng, kUniverse, 0.3);
+    const TidList b = random_list(rng, kUniverse, 0.3);
+    BitsetTidList ba, bb, result;
+    ba.assign(a, kUniverse);
+    bb.assign(b, kUniverse);
+    result.assign_and(ba, bb);
+    EXPECT_EQ(result.to_tidlist(), intersect(a, b));
+  }
+}
+
+TEST(BitsetTidList, BoundedAndAbortsExactlyWhenInfrequent) {
+  Rng rng(33);
+  constexpr Tid kUniverse = 512;
+  for (int trial = 0; trial < 60; ++trial) {
+    const TidList a = random_list(rng, kUniverse, 0.2);
+    const TidList b = random_list(rng, kUniverse, 0.2);
+    const TidList exact = intersect(a, b);
+    BitsetTidList ba, bb;
+    ba.assign(a, kUniverse);
+    bb.assign(b, kUniverse);
+    for (Count minsup : {1u, 4u, 16u, 64u, 512u}) {
+      BitsetTidList result;
+      const bool ok = result.assign_and_bounded(ba, bb, minsup, nullptr);
+      EXPECT_EQ(ok, exact.size() >= minsup);
+      if (ok) {
+        EXPECT_EQ(result.to_tidlist(), exact);
+      }
+      const auto count = BitsetTidList::and_count(ba, bb, minsup, nullptr);
+      EXPECT_EQ(count.has_value(), exact.size() >= minsup);
+      if (count) {
+        EXPECT_EQ(*count, exact.size());
+      }
+    }
+  }
+}
+
+TEST(BitsetTidList, AndNotAndMinusSparseMatchDifference) {
+  Rng rng(44);
+  constexpr Tid kUniverse = 320;
+  for (int trial = 0; trial < 60; ++trial) {
+    const TidList a = random_list(rng, kUniverse, 0.4);
+    const TidList b = random_list(rng, kUniverse, 0.4);
+    const TidList exact = difference(a, b);
+    BitsetTidList ba, bb;
+    ba.assign(a, kUniverse);
+    bb.assign(b, kUniverse);
+    for (std::size_t budget : {std::size_t{0}, std::size_t{10},
+                               std::size_t{kUniverse}}) {
+      BitsetTidList andnot;
+      const bool ok = andnot.assign_andnot_bounded(ba, bb, budget, nullptr);
+      EXPECT_EQ(ok, exact.size() <= budget);
+      if (ok) {
+        EXPECT_EQ(andnot.to_tidlist(), exact);
+      }
+      BitsetTidList minus;
+      const bool ok2 = minus.assign_minus_sparse(ba, b, budget, nullptr);
+      EXPECT_EQ(ok2, exact.size() <= budget);
+      if (ok2) {
+        EXPECT_EQ(minus.to_tidlist(), exact);
+      }
+    }
+  }
+}
+
+TEST(TidSet, PrefersDenseAtTheDocumentedThreshold) {
+  // Dense iff size * 64 >= universe; the boundary itself goes dense.
+  EXPECT_FALSE(TidSet::prefers_dense(0, 64));   // empty stays sparse
+  EXPECT_TRUE(TidSet::prefers_dense(1, 64));
+  EXPECT_TRUE(TidSet::prefers_dense(10, 640));
+  EXPECT_FALSE(TidSet::prefers_dense(9, 640));
+  EXPECT_TRUE(TidSet::prefers_dense(10, 639));
+}
+
+TEST(TidSet, SeedRepresentationFollowsKernel) {
+  const TidList tids = {0, 10, 20, 30};  // density 4/640 — under threshold
+  constexpr Tid kUniverse = 640;
+  for (IntersectKernel kernel :
+       {IntersectKernel::kMerge, IntersectKernel::kMergeShortCircuit,
+        IntersectKernel::kGallop}) {
+    TidSet set;
+    seed_tidset(tids, kUniverse, kernel, set, nullptr);
+    EXPECT_FALSE(set.dense()) << kernel_name(kernel);
+  }
+  TidSet forced;
+  seed_tidset(tids, kUniverse, IntersectKernel::kBitset, forced, nullptr);
+  EXPECT_TRUE(forced.dense());
+  TidSet adaptive;
+  seed_tidset(tids, kUniverse, IntersectKernel::kAuto, adaptive, nullptr);
+  EXPECT_FALSE(adaptive.dense());  // 4·64 < 640
+  TidSet adaptive_dense;
+  seed_tidset(tids, 256, IntersectKernel::kAuto, adaptive_dense, nullptr);
+  EXPECT_TRUE(adaptive_dense.dense());  // 4·64 >= 256
+  EXPECT_EQ(adaptive_dense.to_tidlist(), tids);
+}
+
+constexpr IntersectKernel kAllKernels[] = {
+    IntersectKernel::kMerge, IntersectKernel::kMergeShortCircuit,
+    IntersectKernel::kGallop, IntersectKernel::kBitset,
+    IntersectKernel::kAuto};
+
+TEST(TidSet, IntersectionAgreesWithReferenceAcrossKernels) {
+  Rng rng(55);
+  constexpr Tid kUniverse = 1024;
+  std::vector<std::pair<TidList, TidList>> cases = adversarial_pairs();
+  // Density sweep including both sides of the 1/64 threshold and a skewed
+  // pair that triggers the gallop arm of kAuto.
+  for (double da : {0.004, 0.0625, 0.3}) {
+    for (double db : {0.004, 0.0625, 0.3}) {
+      cases.emplace_back(random_list(rng, kUniverse, da),
+                         random_list(rng, kUniverse, db));
+    }
+  }
+  cases.emplace_back(random_list(rng, kUniverse, 0.002),
+                     random_list(rng, kUniverse, 0.9));
+
+  for (const auto& [a, b] : cases) {
+    const TidList exact = intersect(a, b);
+    const Tid universe = kUniverse;
+    for (IntersectKernel kernel : kAllKernels) {
+      for (Count minsup : {1u, 3u, 40u}) {
+        TidSet sa, sb, out;
+        seed_tidset(a, universe, kernel, sa, nullptr);
+        seed_tidset(b, universe, kernel, sb, nullptr);
+        const bool ok =
+            intersect_into(sa, sb, minsup, kernel, universe, out, nullptr);
+        EXPECT_EQ(ok, exact.size() >= minsup) << kernel_name(kernel);
+        if (ok) {
+          EXPECT_EQ(out.to_tidlist(), exact) << kernel_name(kernel);
+        }
+
+        const std::optional<Count> support =
+            intersect_support(sa, sb, minsup, kernel, nullptr);
+        EXPECT_EQ(support.has_value(), exact.size() >= minsup)
+            << kernel_name(kernel);
+        if (support) {
+          EXPECT_EQ(*support, exact.size());
+        }
+      }
+    }
+  }
+}
+
+TEST(TidSet, DifferenceAgreesWithReferenceAcrossKernels) {
+  Rng rng(66);
+  constexpr Tid kUniverse = 1024;
+  std::vector<std::pair<TidList, TidList>> cases = adversarial_pairs();
+  for (double da : {0.004, 0.3}) {
+    for (double db : {0.004, 0.3}) {
+      cases.emplace_back(random_list(rng, kUniverse, da),
+                         random_list(rng, kUniverse, db));
+    }
+  }
+  for (const auto& [a, b] : cases) {
+    const TidList exact = difference(a, b);
+    for (IntersectKernel kernel : kAllKernels) {
+      for (std::size_t budget : {std::size_t{0}, std::size_t{5},
+                                 std::size_t{kUniverse}}) {
+        TidSet sa, sb, out;
+        seed_tidset(a, kUniverse, kernel, sa, nullptr);
+        seed_tidset(b, kUniverse, kernel, sb, nullptr);
+        const bool ok = difference_into(sa, sb, budget, kernel, kUniverse,
+                                        out, nullptr);
+        EXPECT_EQ(ok, exact.size() <= budget) << kernel_name(kernel);
+        if (ok) {
+          EXPECT_EQ(out.to_tidlist(), exact) << kernel_name(kernel);
+        }
+      }
+    }
+  }
+}
+
+TEST(TidSet, IntersectWithKernelAgreesAcrossAllFiveKernels) {
+  Rng rng(77);
+  for (int trial = 0; trial < 40; ++trial) {
+    const TidList a = random_list(rng, 500, 0.25);
+    const TidList b = random_list(rng, 500, 0.25);
+    const TidList exact = intersect(a, b);
+    for (IntersectKernel kernel : kAllKernels) {
+      for (Count minsup : {1u, 10u, 200u}) {
+        const std::optional<TidList> result =
+            intersect_with_kernel(a, b, minsup, kernel, nullptr);
+        EXPECT_EQ(result.has_value(), exact.size() >= minsup)
+            << kernel_name(kernel);
+        if (result) {
+          EXPECT_EQ(*result, exact) << kernel_name(kernel);
+        }
+      }
+    }
+  }
+}
+
+TEST(TidSet, StatsCountElementsActuallyVisited) {
+  // a exhausts before b is ever advanced: the merge visits |a| elements
+  // plus none of b, so tids_scanned must be 100 — not |a| + |b| = 300
+  // as the pre-counting bug reported.
+  TidList a, b;
+  for (Tid t = 0; t < 100; ++t) a.push_back(t);
+  for (Tid t = 100; t < 300; ++t) b.push_back(t);
+  IntersectStats stats;
+  const auto result =
+      intersect_with_kernel(a, b, 1, IntersectKernel::kMerge, &stats);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(stats.intersections, 1u);
+  EXPECT_EQ(stats.tids_scanned, 100u);
+  EXPECT_EQ(stats.merge_calls, 1u);
+}
+
+TEST(TidSet, StatsCountWordsActuallyScanned) {
+  // Dense kernel over universe 256 = 4 words; a full AND scans exactly 4.
+  TidList a, b;
+  for (Tid t = 0; t < 256; t += 2) a.push_back(t);
+  for (Tid t = 0; t < 256; t += 4) b.push_back(t);
+  IntersectStats stats;
+  TidSet sa, sb, out;
+  seed_tidset(a, 256, IntersectKernel::kBitset, sa, &stats);
+  seed_tidset(b, 256, IntersectKernel::kBitset, sb, &stats);
+  EXPECT_EQ(stats.densified, 2u);
+  ASSERT_TRUE(intersect_into(sa, sb, 1, IntersectKernel::kBitset, 256, out,
+                             &stats));
+  EXPECT_EQ(stats.words_scanned, 4u);
+  EXPECT_EQ(stats.bitset_calls, 1u);
+  EXPECT_EQ(out.support(), 64u);
+}
+
+TEST(TidSet, KernelNamesRoundTrip) {
+  for (IntersectKernel kernel : kAllKernels) {
+    const auto parsed = kernel_from_name(kernel_name(kernel));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kernel);
+  }
+  EXPECT_FALSE(kernel_from_name("simd").has_value());
+  EXPECT_FALSE(kernel_from_name("").has_value());
 }
 
 }  // namespace
