@@ -75,6 +75,11 @@ int main(int argc, char** argv) {
 
     par::ParEclatConfig eclat_config;
     eclat_config.minsup = minsup;
+    // Measure the checkpoint/recovery path in isolation: with speculation
+    // on, survivors would cover the crashed processor's classes during the
+    // asynchronous phase and the recovery phase this bench times would be
+    // empty. bench_stragglers covers the lease/speculation path.
+    eclat_config.lease.speculate = false;
 
     mc::Cluster clean_cluster(topology, modeled_only());
     const par::ParallelOutput clean =

@@ -41,6 +41,20 @@ std::int64_t Flags::get_int(const std::string& name,
                                                        nullptr, 10);
 }
 
+std::uint64_t Flags::get_uint(const std::string& name,
+                              std::uint64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& text = it->second;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || value < 0) {
+    throw std::invalid_argument("--" + name + "=" + text +
+                                ": expected a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
 double Flags::get_double(const std::string& name, double fallback) const {
   const auto it = values_.find(name);
   return it == values_.end() ? fallback

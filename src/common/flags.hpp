@@ -24,6 +24,12 @@ class Flags {
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;
 
+  /// Non-negative integer (counts, retry budgets). Throws
+  /// std::invalid_argument on a negative or non-numeric value rather than
+  /// silently wrapping it into a huge count.
+  std::uint64_t get_uint(const std::string& name,
+                         std::uint64_t fallback) const;
+
   /// Value restricted to an enumerated set (e.g. --kernel=merge|gallop).
   /// Returns `fallback` when absent; throws std::invalid_argument naming
   /// the flag and the allowed values when present but not in `choices`.

@@ -53,16 +53,35 @@ HorizontalDatabase read_binary(std::istream& stream) {
   }
   const auto num_items = read_pod<std::uint32_t>(stream);
   const auto num_transactions = read_pod<std::uint64_t>(stream);
+  // Header counts are untrusted: a forged num_transactions or item count
+  // must never drive a large allocation up front (the stream would run
+  // out long before, but the reserve/resize would already have happened).
+  // Reservations are capped and items are read one at a time, so a
+  // malformed stream always surfaces as std::runtime_error, never as OOM.
+  constexpr std::uint64_t kReserveCap = 4096;
   std::vector<Transaction> transactions;
-  transactions.reserve(num_transactions);
+  transactions.reserve(static_cast<std::size_t>(
+      std::min(num_transactions, kReserveCap)));
   for (std::uint64_t i = 0; i < num_transactions; ++i) {
     Transaction t;
     t.tid = read_pod<Tid>(stream);
     const auto count = read_pod<std::uint32_t>(stream);
-    t.items.resize(count);
-    stream.read(reinterpret_cast<char*>(t.items.data()),
-                static_cast<std::streamsize>(count * sizeof(Item)));
-    if (!stream) throw std::runtime_error("truncated binary database");
+    t.items.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(count, kReserveCap)));
+    for (std::uint32_t j = 0; j < count; ++j) {
+      const auto item = read_pod<Item>(stream);
+      // Transactions are sorted, duplicate-free item lists over
+      // [0, num_items) — anything else would index out of bounds (or
+      // silently miscount) downstream, so reject it at the boundary.
+      if (item >= num_items) {
+        throw std::runtime_error("corrupt binary database: item out of range");
+      }
+      if (j > 0 && item <= t.items.back()) {
+        throw std::runtime_error(
+            "corrupt binary database: items not strictly increasing");
+      }
+      t.items.push_back(item);
+    }
     transactions.push_back(std::move(t));
   }
   return HorizontalDatabase(std::move(transactions), num_items);

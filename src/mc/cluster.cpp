@@ -33,6 +33,8 @@ const char* to_string(ProcessorOutcome outcome) {
       return "finished";
     case ProcessorOutcome::kCrashed:
       return "crashed";
+    case ProcessorOutcome::kHung:
+      return "hung";
     case ProcessorOutcome::kAborted:
       return "aborted";
   }
@@ -43,7 +45,8 @@ Cluster::Cluster(const Topology& topology, const CostModel& cost)
     : topology_(topology),
       cost_(cost),
       channel_(cost),
-      barrier_(topology.total()) {
+      barrier_(topology.total()),
+      lease_board_(topology.total()) {
   topology_.validate();
   const std::size_t total = topology_.total();
   clocks_.assign(total, 0.0);
@@ -68,6 +71,7 @@ RunReport Cluster::run(const std::function<void(Processor&)>& body) {
   barrier_.reset();
   epoch_failed_.assign(total, false);
   for (auto& store : retransmit_store_) store.clear();
+  lease_board_.reset();
   injector_ = fault_plan_.empty()
                   ? nullptr
                   : std::make_unique<FaultInjector>(fault_plan_, total);
@@ -81,6 +85,9 @@ RunReport Cluster::run(const std::function<void(Processor&)>& body) {
       Processor self(this, p);
       try {
         body(self);
+        // Whatever the body did or did not publish, this processor will
+        // never publish again: release any peer blocked in a lease view.
+        lease_board_.mark_done(p, clocks_[p]);
       } catch (const ProcessorFailed& failure) {
         // Injected crash: report it, release the peers. Clear this
         // processor's publish slots *before* deregistering — the barrier
@@ -93,6 +100,24 @@ RunReport Cluster::run(const std::function<void(Processor&)>& body) {
         reduce_slots_[p] = {};
         gather_slots_[p].clear();
         a2a_out_[p].clear();
+        lease_board_.mark_terminal(p, clocks_[p]);
+        barrier_.deregister(p);
+      } catch (const ProcessorHung& hang) {
+        // Unbounded hang: semantically the processor goes silent forever;
+        // the simulation reaps the real thread exactly like a crash so
+        // peers' barriers complete with survivor semantics. Detection is
+        // the lease layer's job — the board records *when* it went quiet,
+        // and peers may only act once their own virtual clocks pass the
+        // lease expiry.
+        report_.outcomes[p] = ProcessorOutcome::kHung;
+        if (trace_) {
+          trace_->record(p, clocks_[p], TraceKind::kFault,
+                         std::string("hang: ") + hang.what());
+        }
+        reduce_slots_[p] = {};
+        gather_slots_[p].clear();
+        a2a_out_[p].clear();
+        lease_board_.mark_terminal(p, clocks_[p]);
         barrier_.deregister(p);
       } catch (...) {
         // Genuine bug in the SPMD body. Still deregister so peers release
@@ -102,6 +127,7 @@ RunReport Cluster::run(const std::function<void(Processor&)>& body) {
         reduce_slots_[p] = {};
         gather_slots_[p].clear();
         a2a_out_[p].clear();
+        lease_board_.mark_terminal(p, clocks_[p]);
         barrier_.deregister(p);
       }
     });
@@ -182,11 +208,62 @@ void Processor::advance(double seconds) {
 double Processor::fault_probe(FaultOp op, const std::string& label) {
   FaultInjector* injector = cluster_->injector_.get();
   if (!injector) return 1.0;
-  return injector->probe(id_, op, phase_, label, now());
+  const ProbeResult result = injector->probe(id_, op, phase_, label, now());
+  if (result.hang_seconds > 0.0) {
+    // Bounded hang: the processor goes silent for the duration — its
+    // clock advances with no lease renewal in between, so peers watching
+    // the board see its leases expire mid-hang and may start backups the
+    // resumed original then races (first-writer-wins absorbs the tie).
+    advance(result.hang_seconds);
+    if (Trace* trace = cluster_->trace_) {
+      trace->record(id_, now(), TraceKind::kFault, "hang",
+                    static_cast<std::uint64_t>(result.hang_seconds * 1e6));
+    }
+  }
+  return result.stall;
 }
 
 void Processor::fault_point(const std::string& label) {
   fault_probe(FaultOp::kPoint, label);
+  // A fault_point is a progress probe: surviving it renews every lease
+  // this processor holds (and publishes its clock either way).
+  cluster_->lease_board_.renew_all(id_, now());
+}
+
+void Processor::lease_acquire(std::size_t task) {
+  cluster_->lease_board_.acquire(id_, task, now());
+}
+
+void Processor::lease_renew() { cluster_->lease_board_.renew_all(id_, now()); }
+
+void Processor::lease_release(std::size_t task) {
+  cluster_->lease_board_.release(id_, task, now());
+}
+
+void Processor::lease_claim(std::size_t task) {
+  cluster_->lease_board_.claim(id_, task, now());
+  if (Trace* trace = cluster_->trace_) {
+    trace->record(id_, now(), TraceKind::kMark, "lease-claim", task);
+  }
+}
+
+void Processor::lease_commit(std::size_t task) {
+  cluster_->lease_board_.commit(id_, task, now());
+}
+
+void Processor::lease_touch() { cluster_->lease_board_.touch(id_, now()); }
+
+void Processor::lease_done() { cluster_->lease_board_.mark_done(id_, now()); }
+
+void Processor::lease_suspect(std::size_t proc) {
+  cluster_->lease_board_.mark_suspect(proc, id_, now());
+  if (Trace* trace = cluster_->trace_) {
+    trace->record(id_, now(), TraceKind::kFault, "suspect", proc);
+  }
+}
+
+LeaseView Processor::lease_view(const LeasePolicy& policy) {
+  return cluster_->lease_board_.view_at(id_, now(), policy);
 }
 
 std::vector<bool> Processor::failed_snapshot() const {
@@ -210,22 +287,46 @@ Blob Processor::retransmit(std::size_t src) {
         "retransmit: no corrupted payload from that source — a decoder "
         "rejecting a pristine payload is a bug, not a recoverable fault");
   }
-  Blob pristine = std::move(it->second);
-  store.erase(it);
+  // The retransmission goes through the same fault-prone channel as the
+  // original delivery: further kCorruptMessage events matching (dst, src)
+  // may mangle it again, in which case the pristine copy stays buffered
+  // for the next retry.
+  Blob delivered = it->second;
+  const std::size_t pristine_bytes = delivered.size();
+  FaultInjector* injector = cluster_->injector_.get();
+  const bool corrupted_again =
+      injector && injector->corrupt_message(id_, src, delivered);
+  if (!corrupted_again) store.erase(it);
   // The data is still in the sender's Memory Channel transmit buffer; the
   // receiver pays a full (point-to-point) re-transfer of it.
-  advance(cluster_->cost_.message_time(pristine.size()));
+  advance(cluster_->cost_.message_time(pristine_bytes));
   if (Trace* trace = cluster_->trace_) {
     trace->record(id_, now(), TraceKind::kFault, "retransmit",
-                  pristine.size());
+                  pristine_bytes);
+    if (corrupted_again) {
+      trace->record(id_, now(), TraceKind::kFault, "corrupt-message",
+                    pristine_bytes);
+    }
   }
-  return pristine;
+  return delivered;
 }
 
 void Processor::disk_read(std::size_t bytes, std::size_t scanners) {
   const double stall = fault_probe(FaultOp::kDiskRead);
   if (scanners == 0) scanners = topology().procs_per_host;
   advance(cost().disk_time(bytes, scanners) * stall);
+  if (Trace* trace = cluster_->trace_) {
+    trace->record(id_, now(), TraceKind::kDisk, "scan", bytes);
+    if (stall > 1.0) {
+      trace->record(id_, now(), TraceKind::kFault, "disk-stall", bytes);
+    }
+  }
+}
+
+void Processor::disk_read_stream(std::size_t bytes, std::size_t scanners) {
+  const double stall = fault_probe(FaultOp::kDiskRead);
+  if (scanners == 0) scanners = topology().procs_per_host;
+  advance(cost().disk_stream_time(bytes, scanners) * stall);
   if (Trace* trace = cluster_->trace_) {
     trace->record(id_, now(), TraceKind::kDisk, "scan", bytes);
     if (stall > 1.0) {

@@ -24,6 +24,11 @@
 // epoch snapshot taken at its last collective, so every survivor of one
 // generation observes the identical set and failure-handling control flow
 // stays globally consistent.
+//
+// Non-fail-stop slowness (kDiskStall stragglers, bounded or unbounded
+// kHang) is invisible to the barrier layer; the progress-lease board
+// (mc/lease.hpp, exposed via the Processor::lease_* methods) is how
+// algorithms detect and migrate around it deterministically.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +44,7 @@
 #include "common/types.hpp"
 #include "mc/cost_model.hpp"
 #include "mc/fault.hpp"
+#include "mc/lease.hpp"
 #include "mc/memory_channel.hpp"
 #include "mc/phase_barrier.hpp"
 #include "mc/trace.hpp"
@@ -55,6 +61,7 @@ class Cluster;
 enum class ProcessorOutcome : std::uint8_t {
   kFinished,  ///< body returned normally
   kCrashed,   ///< an injected ProcessorFailed fault fired
+  kHung,      ///< an injected unbounded ProcessorHung fault fired
   kAborted,   ///< the body threw any other exception
 };
 
@@ -133,6 +140,13 @@ class Processor {
   void disk_read(std::size_t bytes, std::size_t scanners = 0);
   void disk_write(std::size_t bytes, std::size_t scanners = 0);
 
+  /// Like disk_read, but the head is already positioned (the previous
+  /// access on this processor ended where this read starts), so no seek
+  /// is charged — only transfer. Use for runs of contiguous reads; the
+  /// first read of the run, and the first after skipping ahead, must go
+  /// through disk_read.
+  void disk_read_stream(std::size_t bytes, std::size_t scanners = 0);
+
   // --- Collectives. Every *surviving* processor of the cluster must call
   // the same sequence of collectives (standard SPMD discipline); failed
   // processors are excluded from the fold and their result slots stay
@@ -203,6 +217,31 @@ class Processor {
   /// std::logic_error when nothing was corrupted — a decoder rejecting an
   /// uncorrupted payload is a bug, not a recoverable fault.
   Blob retransmit(std::size_t src);
+
+  // --- Progress leases (see mc/lease.hpp). Deterministic straggler
+  // detection: algorithms acquire a lease per unit of owned work, renew
+  // at fault_point probes, and observe peers through lease_view. Every
+  // call below also publishes this processor's clock to the board. ---
+
+  /// Start a progress lease on `task`, held by this processor.
+  void lease_acquire(std::size_t task);
+  /// Renew every lease this processor holds (also done by fault_point).
+  void lease_renew();
+  /// Drop the lease on `task` without committing (work migrated away).
+  void lease_release(std::size_t task);
+  /// Announce a speculative claim on a suspected peer's task.
+  void lease_claim(std::size_t task);
+  /// Announce a commit of `task`; releases this processor's own lease.
+  void lease_commit(std::size_t task);
+  /// Publish this processor's clock with no other fact (idle progress).
+  void lease_touch();
+  /// This processor will publish no further lease activity this run.
+  void lease_done();
+  /// Explicitly mark `proc` suspect (e.g. retransmissions exhausted).
+  void lease_suspect(std::size_t proc);
+  /// Virtual-time-consistent view of peers' progress at now(). Blocks in
+  /// real time (free) until the view is complete; see mc/lease.hpp.
+  LeaseView lease_view(const LeasePolicy& policy);
 
   /// Direct Memory Channel access for algorithm-specific region use.
   MemoryChannel& channel();
@@ -292,6 +331,7 @@ class Cluster {
   CostModel cost_;
   MemoryChannel channel_;
   PhaseBarrier barrier_;
+  LeaseBoard lease_board_;
   Trace* trace_ = nullptr;
 
   FaultPlan fault_plan_;

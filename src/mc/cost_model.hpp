@@ -70,6 +70,14 @@ struct CostModel {
            static_cast<double>(bytes) / disk_bandwidth * slowdown;
   }
 
+  /// Like disk_time but without the seek: the head is already positioned
+  /// because the previous access ended where this one starts.
+  double disk_stream_time(std::size_t bytes, std::size_t scanners) const {
+    const double slowdown =
+        1.0 + disk_contention * static_cast<double>(scanners - 1);
+    return static_cast<double>(bytes) / disk_bandwidth * slowdown;
+  }
+
   double memcpy_time(std::size_t bytes) const {
     return static_cast<double>(bytes) / memcpy_bandwidth;
   }

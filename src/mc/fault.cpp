@@ -8,6 +8,7 @@ const char* to_string(FaultKind kind) {
   switch (kind) {
     case FaultKind::kCrash: return "crash";
     case FaultKind::kDiskStall: return "disk-stall";
+    case FaultKind::kHang: return "hang";
     case FaultKind::kCorruptMessage: return "corrupt-message";
     case FaultKind::kCorruptRegion: return "corrupt-region";
     case FaultKind::kHubDegrade: return "hub-degrade";
@@ -74,6 +75,41 @@ FaultEvent FaultPlan::disk_stall(std::size_t proc, double multiplier,
   return event;
 }
 
+FaultEvent FaultPlan::hang(std::size_t proc, FaultOp op, std::string phase,
+                           std::size_t after_calls, double duration) {
+  FaultEvent event;
+  event.kind = FaultKind::kHang;
+  event.processor = proc;
+  event.op = op;
+  event.phase = std::move(phase);
+  event.after_calls = after_calls;
+  event.duration = duration;
+  return event;
+}
+
+FaultEvent FaultPlan::hang_at_point(std::size_t proc, std::string label,
+                                    std::size_t after_calls,
+                                    double duration) {
+  FaultEvent event;
+  event.kind = FaultKind::kHang;
+  event.processor = proc;
+  event.op = FaultOp::kPoint;
+  event.label = std::move(label);
+  event.after_calls = after_calls;
+  event.duration = duration;
+  return event;
+}
+
+FaultEvent FaultPlan::hang_at_time(std::size_t proc, double at_time,
+                                   double duration) {
+  FaultEvent event;
+  event.kind = FaultKind::kHang;
+  event.processor = proc;
+  event.at_time = at_time;
+  event.duration = duration;
+  return event;
+}
+
 FaultEvent FaultPlan::corrupt_message(std::size_t dst, std::size_t src,
                                       std::size_t after_calls,
                                       double max_bytes) {
@@ -114,6 +150,11 @@ ProcessorFailed::ProcessorFailed(std::size_t processor,
                          " failed at " + site),
       processor_(processor) {}
 
+ProcessorHung::ProcessorHung(std::size_t processor, const std::string& site)
+    : std::runtime_error("processor " + std::to_string(processor) +
+                         " hung at " + site),
+      processor_(processor) {}
+
 FaultInjector::FaultInjector(const FaultPlan& plan,
                              std::size_t total_processors)
     : fold_rng_(plan.seed ^ 0xf01df01df01df01dULL) {
@@ -121,6 +162,7 @@ FaultInjector::FaultInjector(const FaultPlan& plan,
   for (const FaultEvent& event : plan.events) {
     const bool needs_owner = event.kind == FaultKind::kCrash ||
                              event.kind == FaultKind::kDiskStall ||
+                             event.kind == FaultKind::kHang ||
                              event.kind == FaultKind::kCorruptRegion;
     if (needs_owner && event.processor >= total_processors) {
       throw std::invalid_argument(
@@ -143,7 +185,14 @@ namespace {
 
 bool site_matches(const FaultEvent& event, FaultOp op,
                   const std::string& phase, const std::string& label) {
-  if (event.op != FaultOp::kAny && event.op != op) return false;
+  // A stalled disk is a device fault: it slows every access, so a
+  // kDiskStall registered against either disk op matches both.
+  const bool both_disk =
+      event.kind == FaultKind::kDiskStall &&
+      (op == FaultOp::kDiskRead || op == FaultOp::kDiskWrite) &&
+      (event.op == FaultOp::kDiskRead || event.op == FaultOp::kDiskWrite);
+  if (event.op != FaultOp::kAny && event.op != op && !both_disk)
+    return false;
   if (!event.phase.empty() && event.phase != phase) return false;
   if (!event.label.empty() && event.label != label) return false;
   return true;
@@ -151,14 +200,15 @@ bool site_matches(const FaultEvent& event, FaultOp op,
 
 }  // namespace
 
-double FaultInjector::probe(std::size_t proc, FaultOp op,
-                            const std::string& phase,
-                            const std::string& label, double now) {
-  double stall = 1.0;
+ProbeResult FaultInjector::probe(std::size_t proc, FaultOp op,
+                                 const std::string& phase,
+                                 const std::string& label, double now) {
+  ProbeResult result;
   for (EventState& state : events_) {
     const FaultEvent& event = state.event;
     if (event.kind != FaultKind::kCrash &&
-        event.kind != FaultKind::kDiskStall) {
+        event.kind != FaultKind::kDiskStall &&
+        event.kind != FaultKind::kHang) {
       continue;
     }
     if (event.processor != proc) continue;
@@ -174,23 +224,31 @@ double FaultInjector::probe(std::size_t proc, FaultOp op,
     if (fires) {
       state.fired = true;
       injected_.fetch_add(1, std::memory_order_relaxed);
+      const std::string site = std::string(to_string(op)) +
+                               (phase.empty() ? "" : "/" + phase) +
+                               (label.empty() ? "" : "/" + label);
       if (event.kind == FaultKind::kCrash) {
-        throw ProcessorFailed(
-            proc, std::string(to_string(op)) +
-                      (phase.empty() ? "" : "/" + phase) +
-                      (label.empty() ? "" : "/" + label));
+        throw ProcessorFailed(proc, site);
       }
-      stall *= event.severity;
+      if (event.kind == FaultKind::kHang) {
+        if (event.duration < 0.0) throw ProcessorHung(proc, site);
+        result.hang_seconds += event.duration;
+        continue;
+      }
+      result.stall *= event.severity;
     } else if (state.fired && event.persistent &&
                event.kind == FaultKind::kDiskStall) {
-      stall *= event.severity;
+      result.stall *= event.severity;
     }
   }
-  return stall;
+  return result;
 }
 
 bool FaultInjector::corrupt_message(std::size_t dst, std::size_t src,
                                     std::vector<std::uint8_t>& payload) {
+  // Retransmissions re-probe this from processor threads, concurrently
+  // with each other (the original deliveries stay fold-serialized).
+  std::lock_guard<std::mutex> lock(message_mutex_);
   bool corrupted = false;
   for (EventState& state : events_) {
     const FaultEvent& event = state.event;

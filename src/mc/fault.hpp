@@ -9,6 +9,15 @@
 //     completes with survivor-only semantics instead of deadlocking.
 //   - kDiskStall: the matching disk scan(s) take `severity` times longer —
 //     a straggler, visible in the makespan but never in the mined output.
+//   - kHang: the processor silently stops progressing at the injection
+//     site — no exception a peer could observe, no barrier deregistration
+//     it performs itself. With duration < 0 it never resumes
+//     (ProcessorHung is raised so the *simulation* can reap the thread;
+//     semantically the processor just went quiet). With duration >= 0 it
+//     resumes after that much virtual time without having renewed its
+//     progress leases — the hang-then-resume straggler that races its
+//     speculative backups. Only the lease layer (mc/lease.hpp) can detect
+//     either form.
 //   - kCorruptMessage: bit flips or truncation applied to a payload
 //     delivered by all_to_all, exercising the CRC-framed wire decoders.
 //     The pristine payload stays in the cluster's retransmit buffer, so a
@@ -28,6 +37,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -39,6 +49,7 @@ namespace eclat::mc {
 enum class FaultKind : std::uint8_t {
   kCrash,
   kDiskStall,
+  kHang,
   kCorruptMessage,
   kCorruptRegion,
   kHubDegrade,
@@ -98,7 +109,8 @@ struct FaultEvent {
   /// (a persistent straggler rather than a single hiccup).
   bool persistent = false;
 
-  /// kHubDegrade only: window length in virtual seconds (< 0 = forever).
+  /// kHubDegrade: window length in virtual seconds (< 0 = forever).
+  /// kHang: how long the processor stays silent (< 0 = it never resumes).
   double duration = -1.0;
 };
 
@@ -117,9 +129,18 @@ struct FaultPlan {
   static FaultEvent crash_at_point(std::size_t proc, std::string label,
                                    std::size_t after_calls = 0);
   static FaultEvent crash_at_time(std::size_t proc, double at_time);
+  /// A failing/contended disk: multiplies the duration of every disk
+  /// access (reads and writes — device fault, not op fault) on `proc`.
   static FaultEvent disk_stall(std::size_t proc, double multiplier,
                                std::string phase = "",
                                bool persistent = true);
+  static FaultEvent hang(std::size_t proc, FaultOp op, std::string phase = "",
+                         std::size_t after_calls = 0, double duration = -1.0);
+  static FaultEvent hang_at_point(std::size_t proc, std::string label,
+                                  std::size_t after_calls = 0,
+                                  double duration = -1.0);
+  static FaultEvent hang_at_time(std::size_t proc, double at_time,
+                                 double duration = -1.0);
   static FaultEvent corrupt_message(std::size_t dst, std::size_t src,
                                     std::size_t after_calls = 0,
                                     double max_bytes = 8.0);
@@ -142,6 +163,30 @@ class ProcessorFailed : public std::runtime_error {
   std::size_t processor_;
 };
 
+/// Raised inside a simulated processor when an *unbounded* kHang event
+/// fires. Semantically the processor just stops making progress — it
+/// crashes nothing and deregisters from nothing on its own — but the
+/// simulation must reap the real thread, so the cluster catches this,
+/// marks the processor terminal on the LeaseBoard, deregisters it and
+/// reports kHung. Peers only ever learn about it through expired leases.
+class ProcessorHung : public std::runtime_error {
+ public:
+  ProcessorHung(std::size_t processor, const std::string& site);
+  std::size_t processor() const { return processor_; }
+
+ private:
+  std::size_t processor_;
+};
+
+/// What a fault probe decided, besides possibly throwing: the disk-time
+/// multiplier of active stalls and a silent-stall duration from a
+/// *bounded* hang (0 when none) to be added to the processor's clock
+/// without any lease renewal.
+struct ProbeResult {
+  double stall = 1.0;
+  double hang_seconds = 0.0;
+};
+
 /// Per-run instantiation of a FaultPlan. Owned by Cluster::run; one fresh
 /// injector per run, so repeated runs of one cluster replay the identical
 /// schedule.
@@ -149,18 +194,22 @@ class ProcessorFailed : public std::runtime_error {
 /// Thread-safety contract: probe() and corrupt_region_write() are called
 /// from the target processor's own thread and each event's trigger state
 /// is owned by that single thread (enforced by requiring an explicit
-/// processor on those kinds). corrupt_message() and hub_divisor() are
-/// called only from barrier folds, which are serialized by the barrier
-/// lock.
+/// processor on those kinds). corrupt_message() and hub_divisor() fold
+/// shared trigger state; folds are serialized by the barrier lock, and
+/// corrupt_message() additionally serializes itself internally because
+/// retransmissions re-probe it from processor threads. Plans that corrupt
+/// retransmissions should therefore name an explicit dst *and* src, so
+/// the firing order does not depend on which receiver retries first.
 class FaultInjector {
  public:
   FaultInjector(const FaultPlan& plan, std::size_t total_processors);
 
   /// Probe an injection site. Throws ProcessorFailed when a crash event
-  /// fires; otherwise returns the combined disk-time multiplier of every
-  /// stall event active at this site (1.0 = none).
-  double probe(std::size_t proc, FaultOp op, const std::string& phase,
-               const std::string& label, double now);
+  /// fires and ProcessorHung when an unbounded hang fires; otherwise
+  /// returns the combined disk-time multiplier of active stalls plus any
+  /// bounded-hang stall duration.
+  ProbeResult probe(std::size_t proc, FaultOp op, const std::string& phase,
+                    const std::string& label, double now);
 
   /// Fold-side: maybe mutate a payload delivered src -> dst. Returns true
   /// when the payload was corrupted (caller then saves the pristine copy
@@ -192,6 +241,8 @@ class FaultInjector {
   std::vector<Rng> proc_rng_;  ///< one stream per processor (crash sites,
                                ///< region corruption)
   Rng fold_rng_;               ///< fold-side draws (message corruption)
+  std::mutex message_mutex_;   ///< serializes corrupt_message (folds and
+                               ///< per-processor retransmissions)
   std::atomic<std::size_t> injected_{0};
 };
 

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "apriori/apriori.hpp"
 #include "common/check.hpp"
+#include "common/rng.hpp"
 #include "data/result_io.hpp"
 #include "parallel/recovery.hpp"
 #include "parallel/wire.hpp"
@@ -45,22 +47,28 @@ std::vector<std::size_t> survivors_of(const std::vector<bool>& failed) {
   return alive;
 }
 
-/// Open a sealed all-to-all payload; on checksum failure fetch the
-/// pristine copy from the sender's transmit buffer (one modeled
-/// retransmission) and retry. The frame must then open — a pristine
-/// payload failing validation is a protocol bug, not an injected fault.
+/// Open a sealed all-to-all payload; on checksum failure re-fetch from
+/// the sender's transmit buffer, backing off exponentially in virtual
+/// time between attempts (retransmissions go through the same fault-prone
+/// channel and may arrive corrupted again). A link that stays bad past
+/// config.max_retransmits escalates from "transient corruption" to
+/// suspicion of the sender, and the transfer is abandoned — the frame
+/// either opens within the budget or the run surfaces the error.
 mc::Blob open_exchange_payload(mc::Processor& self, std::size_t src,
-                               mc::Blob blob) {
-  if (!wire::open_frame(blob)) {
+                               mc::Blob blob, const ParEclatConfig& config) {
+  if (wire::open_frame(blob)) return blob;
+  double backoff = config.retransmit_backoff;
+  for (std::size_t attempt = 0; attempt < config.max_retransmits; ++attempt) {
+    self.advance(backoff);
+    backoff *= 2.0;
     blob = self.retransmit(src);
-    const wire::FrameResult retry = wire::open_frame(blob);
-    if (!retry) {
-      throw std::runtime_error("exchange payload from processor " +
-                               std::to_string(src) +
-                               " unrecoverable: " + retry.error);
-    }
+    if (wire::open_frame(blob)) return blob;
   }
-  return blob;
+  self.lease_suspect(src);
+  throw std::runtime_error(
+      "exchange payload from processor " + std::to_string(src) +
+      " still corrupt after " + std::to_string(config.max_retransmits) +
+      " retransmissions: sender suspected, transfer abandoned");
 }
 
 /// Per-class result checkpoint payload (the existing ECLATRES result
@@ -74,6 +82,36 @@ mc::Blob checkpoint_bytes(const std::vector<FrequentItemset>& itemsets) {
 std::vector<FrequentItemset> itemsets_from_checkpoint(
     std::span<const std::uint8_t> payload) {
   return result_from_bytes({payload.begin(), payload.end()}).itemsets;
+}
+
+/// Re-mine one equivalence class from its sealed tid-list image in the
+/// replicated store (used by both speculative backups and post-gather
+/// recovery). The image decode is deterministic and the mining recursion
+/// is too, so every re-mine of one class yields byte-identical
+/// checkpoints — the invariant behind first-writer-wins commits.
+std::vector<FrequentItemset> mine_class_image(mc::Processor& self,
+                                              const mc::Blob& image,
+                                              const ParEclatConfig& config,
+                                              TidArena& arena) {
+  self.disk_read(image.size(), 1);
+  const wire::FrameResult frame = wire::open_frame(image);
+  if (!frame) {
+    throw std::runtime_error("corrupt tid-list image: " + frame.error);
+  }
+  std::vector<FrequentItemset> class_found;
+  self.compute([&] {
+    wire::Reader reader(frame.payload);
+    std::vector<Atom> atoms;
+    while (!reader.done()) {
+      const auto key = reader.get<PairKey>();
+      atoms.push_back(Atom{{pair_first(key), pair_second(key)},
+                           reader.get_vector<Tid>()});
+    }
+    std::vector<std::size_t> histogram;
+    compute_frequent(atoms, config.minsup, config.kernel, arena,
+                     class_found, histogram);
+  });
+  return class_found;
 }
 
 }  // namespace
@@ -259,6 +297,12 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
     std::vector<std::size_t> class_owner;
     std::size_t vertical_bytes = 0;
     std::vector<bool> commit_failed;
+    // Class images sealed this round, published to the store only after
+    // the commit barrier: a round that loses a processor mid-exchange
+    // builds *incomplete* lists that the redo round replaces, and the
+    // store is first-writer-wins — nothing may escape an uncommitted
+    // round.
+    std::vector<std::pair<std::size_t, mc::Blob>> staged_images;
     while (true) {
       const std::vector<bool> failed = self.failed_snapshot();
       const std::vector<std::size_t> alive = survivors_of(failed);
@@ -338,8 +382,8 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
             sections;
         for (std::size_t src = 0; src < total; ++src) {
           if (a2a_failed[src]) continue;
-          const mc::Blob blob =
-              open_exchange_payload(self, src, std::move(incoming[src]));
+          const mc::Blob blob = open_exchange_payload(
+              self, src, std::move(incoming[src]), config);
           wire::Reader reader(wire::open_frame(blob).payload);
           while (!reader.done()) {
             const auto partition = reader.get<std::uint64_t>();
@@ -368,6 +412,7 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
       // later owner crash recoverable.
       self.disk_write(vertical_bytes);
       std::size_t image_bytes = 0;
+      staged_images.clear();
       self.compute([&] {
         for (std::size_t c = 0; c < plan.classes.size(); ++c) {
           if (plan.classes[c].size() < 2 || class_owner[c] != me) continue;
@@ -378,7 +423,7 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
           }
           mc::Blob sealed = wire::seal_frame(image.take());
           image_bytes += sealed.size();
-          store.put_tidlists(c, std::move(sealed));
+          staged_images.emplace_back(c, std::move(sealed));
         }
       });
       self.disk_write(image_bytes);
@@ -388,23 +433,76 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
       if (commit_failed == failed) break;
       self.mark("exchange-redo");
     }
+    // The round committed: publish its images. No fault probe sits
+    // between the commit barrier and this loop, so a speculator or a
+    // recovery round observing the barrier's timestamp always finds the
+    // image (both paths treat a missing image as fatal).
+    for (auto& [c, sealed] : staged_images) {
+      store.put_tidlists(c, std::move(sealed));
+    }
     self.phase_end("transformation");
     transform_end[me] = self.now();
 
-    // ----- Phase 3: asynchronous (third scan; zero communication). -----
+    // ----- Phase 3: asynchronous (third scan; zero communication in the
+    // fault-free case). -----
     // Each class is checkpointed as it finishes: a crash loses at most the
     // class being mined, never a completed one (checkpoints are whole-class
-    // and written only after the class's mining returns).
+    // and written only after the class's mining returns). The vertical read
+    // happens per class rather than as one bulk scan, so a class migrated
+    // away also takes its (possibly stalled) disk access with it; seek
+    // amortization below keeps the fault-free cost equal to the bulk scan.
     self.phase_begin("asynchronous");
-    self.disk_read(vertical_bytes);
+    const bool speculate = config.lease.speculate;
+    std::vector<std::size_t> my_classes;
+    std::vector<std::size_t> class_bytes(plan.classes.size(), 0);
+    for (std::size_t c = 0; c < plan.classes.size(); ++c) {
+      if (plan.classes[c].size() < 2 || class_owner[c] != me) continue;
+      my_classes.push_back(c);
+      for (PairKey key : plan.classes[c].pair_keys()) {
+        class_bytes[c] +=
+            sizeof(PairKey) + my_lists.at(key).size() * sizeof(Tid);
+      }
+    }
+    // Acquire a progress lease on every owned class up front, at the
+    // commit-barrier timestamp (identical on all survivors): a processor
+    // that stalls on its very first read is then already detectable.
+    if (speculate) {
+      for (const std::size_t c : my_classes) self.lease_acquire(c);
+      if (my_classes.empty()) self.lease_touch();
+    }
+
     std::vector<FrequentItemset> found;
     std::vector<std::size_t> histogram;
     // Strictly per-processor scratch (the arena is not thread-safe);
     // reused across this processor's classes and the recovery re-mines.
     TidArena arena;
-    for (std::size_t c = 0; c < plan.classes.size(); ++c) {
+    // The owner's classes are laid out contiguously on its local disk (the
+    // transformation phase wrote them in class order), so the sequential
+    // pass pays one seek and then streams; a seek is re-paid only after a
+    // gap — a class skipped because a backup already committed it.
+    // Speculative and recovery image reads (mine_class_image) always seek.
+    bool need_seek = true;
+    for (const std::size_t c : my_classes) {
       const EquivalenceClass& eq_class = plan.classes[c];
-      if (eq_class.size() < 2 || class_owner[c] != me) continue;
+      if (speculate) {
+        // Dynamic migration: a backup committed this class while we were
+        // behind — drop it, together with its pending disk read. Claims
+        // alone do not release us (the claimant might die; an owner that
+        // is alive must cover its class unless a commit exists).
+        const mc::LeaseView view = self.lease_view(config.lease);
+        if (view.is_committed(c)) {
+          self.lease_release(c);
+          self.mark("class-migrated", c);
+          need_seek = true;
+          continue;
+        }
+      }
+      if (need_seek) {
+        self.disk_read(class_bytes[c]);
+        need_seek = false;
+      } else {
+        self.disk_read_stream(class_bytes[c]);
+      }
       std::vector<FrequentItemset> class_found;
       self.compute([&] {
         std::vector<Atom> atoms;
@@ -420,11 +518,78 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
       mc::Blob sealed = wire::seal_frame(checkpoint_bytes(class_found));
       self.disk_write(sealed.size());
       store.put_result(c, std::move(sealed));
+      if (speculate) self.lease_commit(c);
       self.fault_point("class-checkpointed");
       found.insert(found.end(),
                    std::make_move_iterator(class_found.begin()),
                    std::make_move_iterator(class_found.end()));
     }
+
+    // Speculative re-execution: done with our own classes, watch the
+    // board and back up suspected peers. Expired leases are taken
+    // heaviest-first (same greedy weight order as the schedule); a prior
+    // claim by a live processor defers to that processor. When nothing is
+    // actionable we idle forward toward the earliest possible expiry —
+    // in bounded steps, so a lease that gets released before it would
+    // have expired costs an idler at most a quarter horizon of overshoot,
+    // not the full wait — plus a seeded jitter that de-synchronizes
+    // concurrent idlers, and look again; once no lease can ever expire,
+    // the phase is over. All of this is driven purely by virtual time —
+    // see mc/lease.hpp — so repeated runs of one (plan, seed) replay
+    // identically.
+    if (speculate) {
+      const double horizon = config.lease.suspicion_after();
+      Rng jitter(config.lease.seed ^
+                 (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(me + 1)));
+      while (true) {
+        const mc::LeaseView view = self.lease_view(config.lease);
+        std::size_t pick = plan.classes.size();
+        std::size_t best_weight = 0;
+        for (const mc::LeaseView::ExpiredLease& lease : view.expired) {
+          if (view.is_committed(lease.task) || view.is_claimed(lease.task)) {
+            continue;
+          }
+          if (class_owner[lease.task] == me) continue;  // cannot back
+                                                        // ourselves up
+          const std::size_t weight = plan.classes[lease.task].weight();
+          if (pick == plan.classes.size() || weight > best_weight) {
+            pick = lease.task;
+            best_weight = weight;
+          }
+        }
+        if (pick != plan.classes.size()) {
+          self.lease_claim(pick);
+          const std::optional<mc::Blob> image = store.tidlists(pick);
+          if (!image) {
+            throw std::runtime_error(
+                "speculation: no tid-list image for a committed class");
+          }
+          std::vector<FrequentItemset> class_found =
+              mine_class_image(self, *image, config, arena);
+          mc::Blob sealed = wire::seal_frame(checkpoint_bytes(class_found));
+          self.disk_write(sealed.size());
+          store.put_result(pick, std::move(sealed));
+          self.lease_commit(pick);
+          self.mark("class-speculated", pick);
+          found.insert(found.end(),
+                       std::make_move_iterator(class_found.begin()),
+                       std::make_move_iterator(class_found.end()));
+          continue;
+        }
+        if (view.next_expiry == std::numeric_limits<double>::infinity()) {
+          break;  // no outstanding lease can expire anymore
+        }
+        const double step =
+            std::min(view.next_expiry - self.now(), 0.25 * horizon) +
+            jitter.uniform(0.0, 0.05 * horizon);
+        self.advance(std::max(step, 0.0));
+        self.lease_touch();
+      }
+    }
+    // From here on this processor publishes no further lease activity:
+    // peers still observing must not wait on us once we block in the
+    // reduction collectives.
+    self.lease_done();
     self.phase_end("asynchronous");
     async_end[me] = self.now();
 
@@ -438,28 +603,37 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
         writer.put<Count>(f.support);
       }
     });
-    std::vector<mc::Blob> gathered =
-        self.all_gather(wire::seal_frame(writer.take()));
+    // The gather models the reduction's cost (speculation means a class's
+    // itemsets may be carried by both its owner and a backup — the wire
+    // really pays for both copies); the authoritative per-class results
+    // are assembled from the store below, deduplicated by class id.
+    self.all_gather(wire::seal_frame(writer.take()));
     const std::vector<bool> gather_failed = self.failed_snapshot();
     self.phase_end("reduction");
     reduction_end[me] = self.now();
 
     // ----- Recovery: processors that died after the exchange committed
-    // leave owned classes unaccounted. Their *finished* classes are read
-    // back from result checkpoints; their unfinished ones are re-mined by
-    // survivors from the replicated tid-list images (greedy reassignment
-    // by the same C(s,2) weights) and folded in through extra survivor
-    // gathers. The union is byte-identical to the fault-free output. -----
+    // can leave owned classes without a result checkpoint (speculative
+    // backups may already have covered some or all of them). The
+    // unfinished ones are re-mined by survivors from the replicated
+    // tid-list images (greedy reassignment by the same C(s,2) weights)
+    // and committed into the store — first writer wins, so overlap with a
+    // backup is harmless — with extra survivor gathers carrying the
+    // re-mined checkpoints' cost. -----
     std::vector<std::size_t> new_failed;
     for (std::size_t p = 0; p < total; ++p) {
       if (gather_failed[p] && !commit_failed[p]) new_failed.push_back(p);
     }
+    // Re-mined checkpoints travel through the gathers (tagged with their
+    // class id), NOT through the store: survivors race each other in real
+    // time here, and a put_result from a fast re-miner must not change
+    // what a slow survivor computes as `unfinished` — the store is
+    // write-quiescent from the reduction gather onwards, which is what
+    // makes the reads below globally consistent.
     std::vector<std::vector<mc::Blob>> recovery_gathers;
     std::vector<std::vector<bool>> recovery_snapshots;
     std::vector<bool> final_failed = gather_failed;
     if (!new_failed.empty()) {
-      recovery_ran.store(true, std::memory_order_relaxed);
-      self.phase_begin("recovery");
       std::vector<std::size_t> unfinished;
       for (std::size_t c = 0; c < plan.classes.size(); ++c) {
         if (plan.classes[c].size() < 2) continue;
@@ -469,62 +643,49 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
           unfinished.push_back(c);
         }
       }
-      while (!unfinished.empty()) {
-        const std::vector<std::size_t> alive = survivors_of(final_failed);
-        std::vector<std::size_t> weights(unfinished.size());
-        for (std::size_t i = 0; i < unfinished.size(); ++i) {
-          weights[i] = plan.classes[unfinished[i]].weight();
-        }
-        const std::vector<std::size_t> placement =
-            schedule_greedy_by_weight(weights, alive.size());
+      if (!unfinished.empty()) {
+        recovery_ran.store(true, std::memory_order_relaxed);
+        self.phase_begin("recovery");
+        while (!unfinished.empty()) {
+          const std::vector<std::size_t> alive = survivors_of(final_failed);
+          std::vector<std::size_t> weights(unfinished.size());
+          for (std::size_t i = 0; i < unfinished.size(); ++i) {
+            weights[i] = plan.classes[unfinished[i]].weight();
+          }
+          const std::vector<std::size_t> placement =
+              schedule_greedy_by_weight(weights, alive.size());
 
-        wire::Writer recovered;
-        for (std::size_t i = 0; i < unfinished.size(); ++i) {
-          const std::size_t c = unfinished[i];
-          if (alive[placement[i]] != me) continue;
-          const std::optional<mc::Blob> image = store.tidlists(c);
-          if (!image) {
-            throw std::runtime_error(
-                "recovery: no tid-list image for a committed class");
-          }
-          self.disk_read(image->size(), 1);
-          const wire::FrameResult frame = wire::open_frame(*image);
-          if (!frame) {
-            throw std::runtime_error("recovery: corrupt tid-list image: " +
-                                     frame.error);
-          }
-          std::vector<FrequentItemset> class_found;
-          self.compute([&] {
-            wire::Reader reader(frame.payload);
-            std::vector<Atom> atoms;
-            while (!reader.done()) {
-              const auto key = reader.get<PairKey>();
-              atoms.push_back(Atom{{pair_first(key), pair_second(key)},
-                                   reader.get_vector<Tid>()});
+          wire::Writer recovered;
+          for (std::size_t i = 0; i < unfinished.size(); ++i) {
+            const std::size_t c = unfinished[i];
+            if (alive[placement[i]] != me) continue;
+            const std::optional<mc::Blob> image = store.tidlists(c);
+            if (!image) {
+              throw std::runtime_error(
+                  "recovery: no tid-list image for a committed class");
             }
-            std::vector<std::size_t> recovery_histogram;
-            compute_frequent(atoms, config.minsup, config.kernel, arena,
-                             class_found, recovery_histogram);
-          });
-          recovered.put<std::uint64_t>(c);
-          recovered.put_vector(checkpoint_bytes(class_found));
-          self.mark("class-recovered", c);
-        }
-        recovery_gathers.push_back(
-            self.all_gather(wire::seal_frame(recovered.take())));
-        recovery_snapshots.push_back(self.failed_snapshot());
-        const std::vector<bool>& after = recovery_snapshots.back();
+            std::vector<FrequentItemset> class_found =
+                mine_class_image(self, *image, config, arena);
+            recovered.put<std::uint64_t>(c);
+            recovered.put_vector(checkpoint_bytes(class_found));
+            self.mark("class-recovered", c);
+          }
+          recovery_gathers.push_back(
+              self.all_gather(wire::seal_frame(recovered.take())));
+          recovery_snapshots.push_back(self.failed_snapshot());
+          const std::vector<bool>& after = recovery_snapshots.back();
 
-        // Classes whose re-miner survived the gather are recovered; the
-        // rest (their miner died mid-recovery) go around again.
-        std::vector<std::size_t> remaining;
-        for (std::size_t i = 0; i < unfinished.size(); ++i) {
-          if (after[alive[placement[i]]]) remaining.push_back(unfinished[i]);
+          // Classes whose re-miner survived the gather are recovered; the
+          // rest (their miner died mid-recovery) go around again.
+          std::vector<std::size_t> remaining;
+          for (std::size_t i = 0; i < unfinished.size(); ++i) {
+            if (after[alive[placement[i]]]) remaining.push_back(unfinished[i]);
+          }
+          unfinished = std::move(remaining);
+          final_failed = after;
         }
-        unfinished = std::move(remaining);
-        final_failed = after;
+        self.phase_end("recovery");
       }
-      self.phase_end("recovery");
     }
 
     // ----- Assembly on the lowest-id survivor. -----
@@ -551,41 +712,9 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
             {pair_first(key), pair_second(key)},
             counter.get(pair_first(key), pair_second(key))});
       }
-      // Survivors' mined classes, from the reduction gather.
-      for (std::size_t src = 0; src < total; ++src) {
-        if (gather_failed[src]) continue;
-        const wire::FrameResult frame = wire::open_frame(gathered[src]);
-        if (!frame) {
-          throw std::runtime_error("reduction payload corrupt: " +
-                                   frame.error);
-        }
-        wire::Reader reader(frame.payload);
-        const auto count = reader.get<std::uint64_t>();
-        for (std::uint64_t i = 0; i < count; ++i) {
-          FrequentItemset f;
-          f.items = reader.get_vector<Item>();
-          f.support = reader.get<Count>();
-          result.itemsets.push_back(std::move(f));
-        }
-      }
-      // Finished classes of processors that died after the commit, from
-      // their result checkpoints.
-      for (const std::size_t dead : new_failed) {
-        for (std::size_t c = 0; c < plan.classes.size(); ++c) {
-          if (plan.classes[c].size() < 2 || class_owner[c] != dead) continue;
-          const std::optional<mc::Blob> checkpoint = store.result(c);
-          if (!checkpoint) continue;  // unfinished: re-mined below
-          const wire::FrameResult frame = wire::open_frame(*checkpoint);
-          if (!frame) {
-            throw std::runtime_error("result checkpoint corrupt: " +
-                                     frame.error);
-          }
-          for (FrequentItemset& f : itemsets_from_checkpoint(frame.payload)) {
-            result.itemsets.push_back(std::move(f));
-          }
-        }
-      }
-      // Re-mined classes, from the recovery gathers.
+      // Re-mined classes from the recovery gathers, keyed by class id.
+      std::unordered_map<std::size_t, std::vector<FrequentItemset>>
+          recovered_classes;
       for (std::size_t round = 0; round < recovery_gathers.size(); ++round) {
         const std::vector<bool>& round_failed = recovery_snapshots[round];
         for (std::size_t src = 0; src < total; ++src) {
@@ -598,13 +727,41 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
           }
           wire::Reader reader(frame.payload);
           while (!reader.done()) {
-            reader.get<std::uint64_t>();  // class id (trace/debug aid)
+            const auto c = reader.get<std::uint64_t>();
             const auto bytes = reader.get_vector<std::uint8_t>();
-            for (FrequentItemset& f : itemsets_from_checkpoint(
-                     {bytes.data(), bytes.size()})) {
-              result.itemsets.push_back(std::move(f));
-            }
+            recovered_classes[c] =
+                itemsets_from_checkpoint({bytes.data(), bytes.size()});
           }
+        }
+      }
+      // Per-class assembly, deduplicated by class id: every size >= 2
+      // class has exactly one authoritative checkpoint — committed to the
+      // store by its owner or a speculative backup (first writer wins,
+      // duplicates byte-identical), or carried by a recovery gather.
+      // Walking class ids makes the result independent of *who* mined
+      // what, which is why speculation cannot perturb the output.
+      for (std::size_t c = 0; c < plan.classes.size(); ++c) {
+        if (plan.classes[c].size() < 2) continue;
+        if (const std::optional<mc::Blob> checkpoint = store.result(c)) {
+          const wire::FrameResult frame = wire::open_frame(*checkpoint);
+          if (!frame) {
+            throw std::runtime_error("result checkpoint corrupt: " +
+                                     frame.error);
+          }
+          for (FrequentItemset& f :
+               itemsets_from_checkpoint(frame.payload)) {
+            result.itemsets.push_back(std::move(f));
+          }
+          continue;
+        }
+        const auto it = recovered_classes.find(c);
+        if (it == recovered_classes.end()) {
+          throw std::runtime_error("assembly: class " + std::to_string(c) +
+                                   " has no checkpoint and was never "
+                                   "recovered");
+        }
+        for (FrequentItemset& f : it->second) {
+          result.itemsets.push_back(std::move(f));
         }
       }
       normalize(result);

@@ -28,6 +28,21 @@
 // classes. The mined itemsets are byte-identical to the fault-free run;
 // the recovery cost appears in the virtual-time makespan (and, when
 // recovery ran, in a fifth "recovery" entry of phase_seconds).
+//
+// Straggler mitigation (also beyond the paper; see DESIGN.md §6): the
+// static greedy schedule cannot move work off a processor that is slow
+// rather than dead — a persistent disk stall or a silent hang
+// (FaultKind::kHang) would bound the asynchronous phase by the
+// straggler. With config.lease.speculate on, each owner acquires a
+// progress lease per owned class at the exchange commit and renews at
+// every class checkpoint; idle survivors watch the lease board
+// (mc/lease.hpp) and speculatively re-mine classes whose lease expired,
+// from the replicated tid-list images — MapReduce-backup-task style.
+// Commits into the RecoveryStore are idempotent first-writer-wins, so a
+// hung-then-resumed owner racing its backup cannot tear or duplicate
+// output, and owners skip (migrate away) classes a backup already
+// committed. The final result is assembled per class id from the store,
+// byte-identical across {speculation on, off, fault-free}.
 #pragma once
 
 #include "eclat/compute_frequent.hpp"
@@ -52,6 +67,16 @@ struct ParEclatConfig {
   /// off reproduces the paper exactly, on makes results comparable with
   /// Apriori in the cross-validation tests).
   bool include_singletons = true;
+  /// Progress-lease straggler detection and speculative re-execution
+  /// (lease duration, launch threshold, suspector seed; mc/lease.hpp).
+  /// Never affects the mined itemsets, only who mines them and when.
+  mc::LeasePolicy lease;
+  /// Corrupted-payload recovery: up to this many retransmissions per
+  /// payload, with exponential virtual-time backoff between attempts,
+  /// before the sender is marked suspect and the transfer abandoned.
+  std::size_t max_retransmits = 4;
+  /// First retry's backoff in virtual seconds (doubles per attempt).
+  double retransmit_backoff = 1e-4;
 };
 
 /// Run parallel Eclat on the cluster. Fills phase_seconds with

@@ -2,11 +2,21 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
+
 namespace eclat::parallel {
 
-void RecoveryStore::put_tidlists(std::size_t class_id, mc::Blob sealed) {
+bool RecoveryStore::put_tidlists(std::size_t class_id, mc::Blob sealed) {
   std::lock_guard lock(mutex_);
-  tidlists_[class_id] = std::move(sealed);
+  const auto it = tidlists_.find(class_id);
+  if (it != tidlists_.end()) {
+    // First-writer-wins: re-commits must reproduce the original bytes
+    // exactly (the exchange merge is deterministic per class).
+    ECLAT_DCHECK(it->second == sealed);
+    return false;
+  }
+  tidlists_.emplace(class_id, std::move(sealed));
+  return true;
 }
 
 std::optional<mc::Blob> RecoveryStore::tidlists(std::size_t class_id) const {
@@ -16,9 +26,18 @@ std::optional<mc::Blob> RecoveryStore::tidlists(std::size_t class_id) const {
   return it->second;
 }
 
-void RecoveryStore::put_result(std::size_t class_id, mc::Blob sealed) {
+bool RecoveryStore::put_result(std::size_t class_id, mc::Blob sealed) {
   std::lock_guard lock(mutex_);
-  results_[class_id] = std::move(sealed);
+  const auto it = results_.find(class_id);
+  if (it != results_.end()) {
+    // A late original racing its speculative backup (or two recovery
+    // rounds) re-mined the same class from the same image; the recursion
+    // is deterministic, so anything but identical bytes is a bug.
+    ECLAT_DCHECK(it->second == sealed);
+    return false;
+  }
+  results_.emplace(class_id, std::move(sealed));
+  return true;
 }
 
 std::optional<mc::Blob> RecoveryStore::result(std::size_t class_id) const {

@@ -18,6 +18,14 @@
 // tid-list image. Blobs are stored sealed (wire::seal_frame), so a reader
 // validates the CRC before trusting recovered bytes.
 //
+// Commits are idempotent first-writer-wins: a duplicate put keeps the
+// original bytes. Duplicates are legitimate — a hung-then-resumed owner
+// racing its speculative backup, or two recovery rounds covering the same
+// class — but because mining a class from the same tid-list image is
+// deterministic, a duplicate must be byte-identical to the first write;
+// a debug contract enforces that, so a torn or divergent re-mine can
+// never hide behind the idempotence.
+//
 // The store itself is cost-free; callers charge the simulated disk writes
 // and region traffic through the Processor they run on.
 #pragma once
@@ -35,14 +43,16 @@ namespace eclat::parallel {
 class RecoveryStore {
  public:
   /// Record the sealed tid-list image of an equivalence class (called by
-  /// the class's owner after the exchange round commits).
-  void put_tidlists(std::size_t class_id, mc::Blob sealed);
+  /// the class's owner after the exchange round commits). First writer
+  /// wins; returns true when this call created the entry.
+  bool put_tidlists(std::size_t class_id, mc::Blob sealed);
 
   /// Sealed tid-list image of a class, if any survivor retained one.
   std::optional<mc::Blob> tidlists(std::size_t class_id) const;
 
-  /// Record the sealed result checkpoint of a fully-mined class.
-  void put_result(std::size_t class_id, mc::Blob sealed);
+  /// Record the sealed result checkpoint of a fully-mined class. First
+  /// writer wins; returns true when this call created the entry.
+  bool put_result(std::size_t class_id, mc::Blob sealed);
 
   std::optional<mc::Blob> result(std::size_t class_id) const;
 
