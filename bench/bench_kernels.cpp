@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/check.hpp"
 #include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "eclat/eclat_seq.hpp"
@@ -111,7 +112,7 @@ EndToEndRow run_end_to_end(const std::string& name,
       std::fprintf(stderr, "kernel %s diverged: %zu itemsets vs %zu\n",
                    kernel_name(kAllKernels[k]), result.itemsets.size(),
                    row.itemsets);
-      std::exit(1);
+      ECLAT_UNREACHABLE("intersect kernels disagree on the itemset count");
     }
     std::printf("  %-14s %8.3f s  (%zu itemsets)\n",
                 kernel_name(kAllKernels[k]), row.seconds[k], row.itemsets);

@@ -31,6 +31,7 @@ namespace eclat::check_detail {
                               const char* file, int line) {
   std::fprintf(stderr, "%s failed: %s\n  at %s:%d\n", kind, what, file, line);
   std::fflush(stderr);
+  // eclat-lint: allow(contract-abort) this IS the uniform abort path the contract macros funnel into
   std::abort();
 }
 

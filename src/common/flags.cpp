@@ -37,8 +37,15 @@ std::string Flags::get(const std::string& name,
 std::int64_t Flags::get_int(const std::string& name,
                             std::int64_t fallback) const {
   const auto it = values_.find(name);
-  return it == values_.end() ? fallback : std::strtoll(it->second.c_str(),
-                                                       nullptr, 10);
+  if (it == values_.end()) return fallback;
+  const std::string& text = it->second;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    throw std::invalid_argument("--" + name + "=" + text +
+                                ": expected an integer");
+  }
+  return value;
 }
 
 std::uint64_t Flags::get_uint(const std::string& name,
@@ -57,8 +64,15 @@ std::uint64_t Flags::get_uint(const std::string& name,
 
 double Flags::get_double(const std::string& name, double fallback) const {
   const auto it = values_.find(name);
-  return it == values_.end() ? fallback
-                             : std::strtod(it->second.c_str(), nullptr);
+  if (it == values_.end()) return fallback;
+  const std::string& text = it->second;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    throw std::invalid_argument("--" + name + "=" + text +
+                                ": expected a number");
+  }
+  return value;
 }
 
 bool Flags::get_bool(const std::string& name, bool fallback) const {

@@ -14,6 +14,7 @@ constexpr std::uint32_t kVersion = 1;
 
 template <typename T>
 void write_pod(std::ostream& stream, const T& value) {
+  // eclat-lint: allow(contract-cast) writes sizeof(T) bytes of a live POD to the stream; no untrusted length involved
   stream.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 

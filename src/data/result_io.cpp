@@ -13,6 +13,7 @@ constexpr char kMagic[8] = {'E', 'C', 'L', 'A', 'T', 'R', 'E', 'S'};
 
 template <typename T>
 void write_pod(std::ostream& stream, const T& value) {
+  // eclat-lint: allow(contract-cast) writes sizeof(T) bytes of a live POD to the stream; no untrusted length involved
   stream.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 

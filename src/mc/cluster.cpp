@@ -1,4 +1,5 @@
 #include "mc/cluster.hpp"
+// eclat-lint: allow-file(det-thread) the Cluster owns the real threads simulated processors run on
 
 #include <algorithm>
 #include <cmath>

@@ -119,6 +119,7 @@ class Processor {
   template <typename F>
   auto compute(F&& body) {
     fault_probe(FaultOp::kCompute);
+    // eclat-lint: allow(det-wallclock) measured thread-CPU feeds virtual time scaled by cost().cpu_scale; deterministic runs pin cpu_scale = 0
     CpuStopwatch watch;
     if constexpr (std::is_void_v<decltype(body())>) {
       body();

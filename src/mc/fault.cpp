@@ -1,4 +1,5 @@
 #include "mc/fault.hpp"
+// eclat-lint: allow-file(det-thread) injector state spans processor threads; every trigger counter is advanced only by its owning thread, so replays are exact
 
 #include <algorithm>
 

@@ -33,6 +33,7 @@
 // counter is advanced only by the thread that owns it — so a (plan, seed)
 // pair reproduces the exact same failure schedule on every run.
 #pragma once
+// eclat-lint: allow-file(det-thread) injector state spans processor threads; every trigger counter is advanced only by its owning thread, so replays are exact
 
 #include <atomic>
 #include <cstddef>

@@ -1,4 +1,5 @@
 #include "mc/lease.hpp"
+// eclat-lint: allow-file(det-thread) the lease board is shared across processor threads; it blocks in real time (free) and answers only from virtual-time-stamped events
 
 #include <algorithm>
 

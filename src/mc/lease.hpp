@@ -38,6 +38,7 @@
 // deadlock against the barrier. The cluster marks done/terminal on every
 // thread-exit path as a backstop.
 #pragma once
+// eclat-lint: allow-file(det-thread) the lease board is shared across processor threads; it blocks in real time (free) and answers only from virtual-time-stamped events
 
 #include <condition_variable>
 #include <cstddef>

@@ -1,4 +1,5 @@
 #include "mc/memory_channel.hpp"
+// eclat-lint: allow-file(det-thread) the Memory Channel model is real shared memory between processor threads; access costs are charged to virtual clocks
 
 #include <cstring>
 #include <stdexcept>

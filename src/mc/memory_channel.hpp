@@ -15,6 +15,7 @@
 //     aggregate_bandwidth` when the hub, not the links, is the bottleneck;
 //   - reads are local RAM (receive-region) accesses at memcpy bandwidth.
 #pragma once
+// eclat-lint: allow-file(det-thread) the Memory Channel model is real shared memory between processor threads; access costs are charged to virtual clocks
 
 #include <atomic>
 #include <cstdint>

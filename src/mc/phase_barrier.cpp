@@ -1,4 +1,5 @@
 #include "mc/phase_barrier.hpp"
+// eclat-lint: allow-file(det-thread) the PhaseBarrier IS the simulator's real-thread rendezvous; virtual time is layered above it
 
 #include <stdexcept>
 #include <utility>

@@ -12,6 +12,7 @@
 // crash can never deadlock the survivors. Folds observe the failed set via
 // failed_in_fold() and implement survivor-only semantics.
 #pragma once
+// eclat-lint: allow-file(det-thread) the PhaseBarrier IS the simulator's real-thread rendezvous; virtual time is layered above it
 
 #include <condition_variable>
 #include <cstddef>

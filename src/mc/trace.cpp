@@ -1,4 +1,5 @@
 #include "mc/trace.hpp"
+// eclat-lint: allow-file(det-thread) the trace sink is appended to from every processor thread; events carry virtual timestamps and are sorted before rendering
 
 #include <algorithm>
 #include <map>

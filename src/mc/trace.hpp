@@ -4,6 +4,7 @@
 // by the examples to show where the paper's algorithms spend their time,
 // and by tests to assert ordering properties of the simulation.
 #pragma once
+// eclat-lint: allow-file(det-thread) the trace sink is appended to from every processor thread; events carry virtual timestamps and are sorted before rendering
 
 #include <cstdint>
 #include <iosfwd>

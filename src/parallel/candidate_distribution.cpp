@@ -44,6 +44,7 @@ ParallelOutput candidate_distribution(
     mc::Cluster& cluster, const HorizontalDatabase& db,
     const CandidateDistributionConfig& config) {
   ParallelOutput output;
+  // eclat-lint: allow(det-thread) cross-thread handoff of the single writer's result to the caller
   std::mutex output_mutex;
 
   const std::size_t total = cluster.topology().total();
@@ -313,6 +314,7 @@ ParallelOutput candidate_distribution(
         merged.levels.push_back(
             LevelStats{size, 0, merged.count_of_size(size)});
       }
+      // eclat-lint: allow(det-thread) single-writer publish of the run's result
       std::lock_guard lock(output_mutex);
       output.result = std::move(merged);
     }

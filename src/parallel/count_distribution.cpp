@@ -15,7 +15,8 @@ ParallelOutput count_distribution(mc::Cluster& cluster,
                                   const HorizontalDatabase& db,
                                   const CountDistributionConfig& config) {
   ParallelOutput output;
-  std::mutex output_mutex;  // proc 0 writes the output exactly once
+  // eclat-lint: allow(det-thread) cross-thread handoff: proc 0 writes the output exactly once
+  std::mutex output_mutex;
 
   const std::uint64_t mc_bytes_before = cluster.channel().total_bytes();
   const std::uint64_t mc_msgs_before = cluster.channel().total_messages();
@@ -193,6 +194,7 @@ ParallelOutput count_distribution(mc::Cluster& cluster,
     self.barrier();
     if (self.id() == 0) {
       normalize(result);
+      // eclat-lint: allow(det-thread) single-writer publish of the run's result
       std::lock_guard lock(output_mutex);
       output.result = std::move(result);
     }

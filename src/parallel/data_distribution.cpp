@@ -14,6 +14,7 @@ ParallelOutput data_distribution(mc::Cluster& cluster,
                                  const HorizontalDatabase& db,
                                  const DataDistributionConfig& config) {
   ParallelOutput output;
+  // eclat-lint: allow(det-thread) cross-thread handoff of the single writer's result to the caller
   std::mutex output_mutex;
 
   const std::uint64_t mc_bytes_before = cluster.channel().total_bytes();
@@ -176,6 +177,7 @@ ParallelOutput data_distribution(mc::Cluster& cluster,
     self.barrier();
     if (me == 0) {
       normalize(result);
+      // eclat-lint: allow(det-thread) single-writer publish of the run's result
       std::lock_guard lock(output_mutex);
       output.result = std::move(result);
     }

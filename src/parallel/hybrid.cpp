@@ -51,6 +51,7 @@ ParallelOutput hybrid_eclat(mc::Cluster& cluster,
                             const HorizontalDatabase& db,
                             const ParEclatConfig& config) {
   ParallelOutput output;
+  // eclat-lint: allow(det-thread) cross-thread handoff of the single writer's result to the caller
   std::mutex output_mutex;
 
   const mc::Topology topology = cluster.topology();
@@ -164,6 +165,7 @@ ParallelOutput hybrid_eclat(mc::Cluster& cluster,
             list.insert(list.end(), tids.begin(), tids.end());
           }
         }
+        // eclat-lint: allow(det-unordered-iter) order-insensitive fold: sums bytes and checks invariants; nothing escapes in hash order
         for (const auto& [key, list] : merged) {
           ECLAT_DCHECK(is_valid_tidlist(list));
           vertical_bytes += sizeof(PairKey) + list.size() * sizeof(Tid);
@@ -262,6 +264,7 @@ ParallelOutput hybrid_eclat(mc::Cluster& cluster,
       for (std::size_t k = 1; k <= result.max_size(); ++k) {
         result.levels.push_back(LevelStats{k, 0, result.count_of_size(k)});
       }
+      // eclat-lint: allow(det-thread) single-writer publish of the run's result
       std::lock_guard lock(output_mutex);
       output.result = std::move(result);
     }
@@ -286,6 +289,7 @@ ParallelOutput hybrid_count_distribution(
     mc::Cluster& cluster, const HorizontalDatabase& db,
     const CountDistributionConfig& config) {
   ParallelOutput output;
+  // eclat-lint: allow(det-thread) cross-thread handoff of the single writer's result to the caller
   std::mutex output_mutex;
 
   const mc::Topology topology = cluster.topology();
@@ -424,6 +428,7 @@ ParallelOutput hybrid_count_distribution(
     self.barrier();
     if (me == 0) {
       normalize(result);
+      // eclat-lint: allow(det-thread) single-writer publish of the run's result
       std::lock_guard lock(output_mutex);
       output.result = std::move(result);
     }

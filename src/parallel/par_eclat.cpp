@@ -119,6 +119,7 @@ std::vector<FrequentItemset> mine_class_image(mc::Processor& self,
 ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
                          const ParEclatConfig& config) {
   ParallelOutput output;
+  // eclat-lint: allow(det-thread) cross-thread handoff of the single writer's result to the caller
   std::mutex output_mutex;
 
   const std::size_t total = cluster.topology().total();
@@ -128,6 +129,7 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
   std::vector<double> transform_end(total, 0.0);
   std::vector<double> async_end(total, 0.0);
   std::vector<double> reduction_end(total, 0.0);
+  // eclat-lint: allow(det-thread) instrumentation flag set inside the run, folded only after the threads join
   std::atomic<bool> recovery_ran{false};
 
   // Replicated recovery state (Memory Channel receive regions are
@@ -391,6 +393,7 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
             sections[key].emplace_back(partition, reader.get_vector<Tid>());
           }
         }
+        // eclat-lint: allow(det-unordered-iter) order-insensitive fold into the keyed my_lists; emission order comes from pair_keys()
         for (auto& [key, parts] : sections) {
           std::sort(parts.begin(), parts.end(),
                     [](const auto& a, const auto& b) {
@@ -768,6 +771,7 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
       for (std::size_t k = 1; k <= result.max_size(); ++k) {
         result.levels.push_back(LevelStats{k, 0, result.count_of_size(k)});
       }
+      // eclat-lint: allow(det-thread) single-writer publish of the run's result
       std::lock_guard lock(output_mutex);
       output.result = std::move(result);
     }

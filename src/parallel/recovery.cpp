@@ -1,4 +1,5 @@
 #include "parallel/recovery.hpp"
+// eclat-lint: allow-file(det-thread) the replicated store is shared by every processor thread; puts are idempotent first-writer-wins commits
 
 #include <algorithm>
 

@@ -29,6 +29,7 @@
 // The store itself is cost-free; callers charge the simulated disk writes
 // and region traffic through the Processor they run on.
 #pragma once
+// eclat-lint: allow-file(det-thread) the replicated store is shared by every processor thread; puts are idempotent first-writer-wins commits
 
 #include <cstddef>
 #include <mutex>

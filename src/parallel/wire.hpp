@@ -38,6 +38,7 @@ class Writer {
     static_assert(std::is_trivially_copyable_v<T>);
     const std::size_t offset = blob_.size();
     blob_.resize(offset + sizeof(T));
+    // eclat-lint: allow(contract-memcpy) destination was resized to exactly offset + sizeof(T) on the preceding line
     std::memcpy(blob_.data() + offset, &value, sizeof(T));
   }
 
@@ -48,6 +49,7 @@ class Writer {
     if (values.empty()) return;  // data() may be null; memcpy(_, null, 0) is UB
     const std::size_t offset = blob_.size();
     blob_.resize(offset + values.size() * sizeof(T));
+    // eclat-lint: allow(contract-memcpy) destination was resized to exactly offset + count bytes on the preceding line
     std::memcpy(blob_.data() + offset, values.data(),
                 values.size() * sizeof(T));
   }

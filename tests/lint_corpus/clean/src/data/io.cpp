@@ -1,0 +1,14 @@
+// Corpus: guarded byte reinterpretation — ECLAT_CHECK adjacent to the cast.
+#include <cstring>
+
+#define ECLAT_CHECK(cond, msg) ((cond) ? (void)0 : (void)(msg))
+
+int read_checked(const char* p, unsigned long n) {
+  ECLAT_CHECK(n >= sizeof(int), "short buffer");
+  return *reinterpret_cast<const int*>(p);
+}
+
+void copy_checked(char* dst, const void* src, unsigned long n) {
+  ECLAT_CHECK(n <= 64, "oversized copy");
+  std::memcpy(dst, src, n);
+}

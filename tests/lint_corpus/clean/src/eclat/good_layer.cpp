@@ -1,0 +1,4 @@
+// Corpus: legal layering — eclat may see common, data, vertical, apriori.
+#include "common/check.hpp"
+#include "data/db.hpp"
+#include "vertical/tidlist.hpp"

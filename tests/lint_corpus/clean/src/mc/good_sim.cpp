@@ -1,0 +1,13 @@
+// Corpus: the approved simulator idioms — real threads suppressed with a
+// justification, virtual time instead of wall clocks.
+#pragma once
+
+// eclat-lint: allow-file(det-thread) corpus stand-in for the simulator's real-thread substrate; virtual time is layered above it
+#include <mutex>
+
+struct VirtualClock {
+  long long now_ns = 0;
+  void advance(long long ns) { now_ns += ns; }
+};
+
+std::mutex substrate_lock;

@@ -1,0 +1,24 @@
+// Corpus: emission in deterministic key order — gather, sort, then walk.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "parallel/wire.hpp"
+
+void emit_sorted() {
+  std::unordered_map<int, int> counts;
+  std::vector<int> keys;
+  keys.reserve(counts.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    (void)counts[keys[i]];
+  }
+  std::sort(keys.begin(), keys.end());
+}
+
+void folded() {
+  std::unordered_map<int, int> counts;
+  long long total = 0;
+  // eclat-lint: allow(det-unordered-iter) order-insensitive fold: sums values only
+  for (const auto& kv : counts) total += kv.second;
+  (void)total;
+}

@@ -1,0 +1,8 @@
+// Corpus: raw contract violations.
+#include <cassert>
+#include <cstdlib>
+
+void checked(int x) {
+  assert(x > 0);
+  if (x > 40) abort();
+}

@@ -1,0 +1,3 @@
+// Corpus: include cycle, half A.
+#pragma once
+#include "common/cycle_b.hpp"

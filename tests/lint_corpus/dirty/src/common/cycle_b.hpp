@@ -1,0 +1,3 @@
+// Corpus: include cycle, half B.
+#pragma once
+#include "common/cycle_a.hpp"

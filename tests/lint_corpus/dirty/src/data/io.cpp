@@ -1,0 +1,10 @@
+// Corpus: unguarded byte reinterpretation on the serialization path.
+#include <cstring>
+
+void copy_bytes(char* dst, const void* src) {
+  std::memcpy(dst, src, 16);
+}
+
+int reinterpret(const char* p) {
+  return *reinterpret_cast<const int*>(p);
+}

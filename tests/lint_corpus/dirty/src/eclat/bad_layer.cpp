@@ -1,0 +1,3 @@
+// Corpus: layering violation — the sequential core reaching up into the
+// parallel layer.
+#include "parallel/par_eclat.hpp"

@@ -1,0 +1,21 @@
+// Corpus: determinism violations inside the simulator layer (src/mc).
+#include <chrono>
+#include <map>
+#include <mutex>
+
+void wall_clock_read() {
+  auto t = std::chrono::system_clock::now();
+  (void)t;
+}
+
+int unseeded() {
+  return rand();
+}
+
+void raw_threading() {
+  std::mutex m;
+  (void)m;
+}
+
+struct Obj {};
+std::map<Obj*, int> address_ordered;

@@ -1,0 +1,8 @@
+// Corpus: suppressions that must NOT count.
+#include <mutex>
+
+// eclat-lint: allow(det-thread)
+std::mutex unjustified;
+
+// eclat-lint: allow(det-thred) the rule id is misspelled
+std::mutex typod;

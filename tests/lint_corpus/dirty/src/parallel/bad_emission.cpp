@@ -1,0 +1,13 @@
+// Corpus: hash-order iteration escaping on an emission path.
+#include <unordered_map>
+
+#include "parallel/wire.hpp"
+
+void emit_all() {
+  std::unordered_map<int, int> counts;
+  for (auto& kv : counts) {
+    (void)kv;
+  }
+  auto it = counts.begin();
+  (void)it;
+}

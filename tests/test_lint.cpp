@@ -1,0 +1,103 @@
+// Golden tests for the eclat-lint binary: run it over the corpus trees
+// under tests/lint_corpus/ and over the repo itself, asserting exit codes
+// and (for the dirty tree) byte-exact JSON against expected.json.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult run_lint(const std::string& args) {
+  const std::string cmd = std::string(ECLAT_LINT_BIN) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "popen failed for: " << cmd;
+  RunResult r;
+  if (!pipe) return r;
+  std::array<char, 4096> buf{};
+  size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    r.output.append(buf.data(), n);
+  }
+  const int status = pclose(pipe);
+  r.exit_code = (status >= 0 && (status & 0x7f) == 0) ? ((status >> 8) & 0xff)
+                                                      : -1;
+  return r;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+const std::string kCorpus = ECLAT_LINT_CORPUS;
+const std::string kRepoRoot = ECLAT_LINT_REPO_ROOT;
+
+}  // namespace
+
+TEST(Lint, DirtyCorpusJsonMatchesGolden) {
+  const RunResult r = run_lint("--root " + kCorpus + "/dirty --json");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  const std::string expected = read_file(kCorpus + "/expected.json");
+  EXPECT_EQ(r.output, expected)
+      << "eclat-lint JSON drifted from tests/lint_corpus/expected.json; "
+         "if the analyzer change is intentional, regenerate the golden and "
+         "review the diff";
+}
+
+TEST(Lint, DirtyCorpusCoversEveryAnalyzer) {
+  const RunResult r = run_lint("--root " + kCorpus + "/dirty --json");
+  EXPECT_EQ(r.exit_code, 1);
+  for (const char* id :
+       {"det-wallclock", "det-random", "det-thread", "det-ptr-key",
+        "det-unordered-iter", "layer-violation", "layer-cycle",
+        "contract-assert", "contract-abort", "contract-cast",
+        "contract-memcpy", "lint-suppression"}) {
+    EXPECT_NE(r.output.find(std::string("\"id\": \"") + id + "\""),
+              std::string::npos)
+        << "dirty corpus no longer triggers rule " << id;
+  }
+}
+
+TEST(Lint, CleanCorpusPassesWithJustifiedSuppressions) {
+  const RunResult r = run_lint("--root " + kCorpus + "/clean");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 finding(s)"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("2 suppressed"), std::string::npos) << r.output;
+}
+
+TEST(Lint, UnjustifiedSuppressionDoesNotSilence) {
+  const RunResult r = run_lint("--root " + kCorpus + "/dirty --json");
+  // bad_suppress.cpp: the bare allow() and the typo'd id must each yield a
+  // lint-suppression finding AND leave the underlying det-thread finding live.
+  EXPECT_NE(r.output.find("suppression without a justification"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("unknown rule id 'det-thred'"), std::string::npos)
+      << r.output;
+}
+
+TEST(Lint, RepoTreeIsClean) {
+  // The acceptance criterion as a test: zero unsuppressed findings on the
+  // actual source tree. New violations must be fixed or justified, not merged.
+  const RunResult r = run_lint("--root " + kRepoRoot + " --quiet");
+  EXPECT_EQ(r.exit_code, 0)
+      << "eclat-lint found unsuppressed violations in the repo:\n"
+      << r.output;
+}
+
+TEST(Lint, BadRootExitsTwo) {
+  const RunResult r = run_lint("--root " + kCorpus + "/no-such-dir");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}

@@ -1,0 +1,132 @@
+// Contracts analyzer: invariant failures must flow through the project's
+// contract macros (src/common/check.hpp), and byte-level reinterpretation
+// on the serialization paths must sit next to an explicit bounds guard.
+//
+// Rules:
+//   contract-assert  raw assert(...) or <cassert>/<assert.h> include —
+//                    compiled out by NDEBUG, so release builds silently
+//                    drop the invariant; use ECLAT_CHECK / ECLAT_DCHECK
+//   contract-abort   raw abort()/exit()/_Exit()/quick_exit()/terminate() —
+//                    process death without file:line context; use
+//                    ECLAT_CHECK(false) or ECLAT_UNREACHABLE
+//   contract-cast    reinterpret_cast on a wire/result_io path with no
+//                    adjacent guard (ECLAT_CHECK / ECLAT_DCHECK / throw
+//                    within the preceding lines)
+//   contract-memcpy  memcpy/memmove on a wire/result_io path with no
+//                    adjacent guard
+#include "lint.hpp"
+
+#include <cstddef>
+
+namespace eclat::lint {
+
+namespace {
+
+/// How far around an unguarded cast/copy we look for a guard. Backwards:
+/// wide enough for a multi-line throw message, narrow enough that a guard
+/// at the top of a long function does not excuse every copy below it.
+/// Forwards: a short window for the stream-read idiom, where the bounds
+/// check (`if (!stream) throw ...`) necessarily follows the read.
+constexpr int kGuardWindowBefore = 12;
+constexpr int kGuardWindowAfter = 4;
+
+void add(std::vector<Finding>& findings, const SourceFile& file, int line,
+         const char* id, const std::string& message,
+         const std::string& hint) {
+  findings.push_back({file.path, line, id, message, hint, false, ""});
+}
+
+}  // namespace
+
+void analyze_contracts(const SourceFile& file, bool serialization_path,
+                       std::vector<Finding>& findings) {
+  const std::vector<Token>& toks = file.tokens;
+
+  for (std::size_t k = 0; k < file.system_includes.size(); ++k) {
+    const std::string& inc = file.system_includes[k];
+    if (inc == "cassert" || inc == "assert.h") {
+      add(findings, file, file.system_include_lines[k], "contract-assert",
+          "#include <" + inc + ">",
+          "use ECLAT_CHECK / ECLAT_DCHECK from common/check.hpp; assert() "
+          "vanishes under NDEBUG");
+    }
+  }
+
+  // Lines (sorted, from token order) on which a guard token appears; used
+  // for the adjacency test of contract-cast / contract-memcpy.
+  std::vector<int> guard_lines;
+
+  if (serialization_path) {
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdentifier) continue;
+      if (t.text == "ECLAT_CHECK" || t.text == "ECLAT_DCHECK" ||
+          t.text == "throw") {
+        guard_lines.push_back(t.line);
+      }
+    }
+  }
+
+  auto guarded = [&](int line) {
+    for (const int g : guard_lines) {
+      if (g <= line ? line - g <= kGuardWindowBefore
+                    : g - line <= kGuardWindowAfter) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+
+    if (t.text == "assert" && is_punct(toks, i + 1, "(") &&
+        !is_member_or_foreign_qualified(toks, i)) {
+      add(findings, file, t.line, "contract-assert", "raw assert(...)",
+          "use ECLAT_CHECK (always on) or ECLAT_DCHECK (debug/sanitizer "
+          "builds) from common/check.hpp");
+      continue;
+    }
+
+    if ((t.text == "abort" || t.text == "exit" || t.text == "_Exit" ||
+         t.text == "quick_exit" || t.text == "terminate") &&
+        is_punct(toks, i + 1, "(")) {
+      // Allow member calls (foo.exit()) and foreign qualifiers; std::abort
+      // is still the banned thing.
+      if (is_member_or_foreign_qualified(toks, i)) continue;
+      add(findings, file, t.line, "contract-abort",
+          "raw " + t.text + "(...)",
+          "fail through ECLAT_CHECK(false) / ECLAT_UNREACHABLE so the "
+          "failure carries file:line and a uniform abort path");
+      continue;
+    }
+
+    if (!serialization_path) continue;
+
+    if (t.text == "reinterpret_cast") {
+      if (!guarded(t.line)) {
+        add(findings, file, t.line, "contract-cast",
+            "unguarded reinterpret_cast on a serialization path",
+            "validate lengths first: put an ECLAT_CHECK bounds guard (or a "
+            "throwing length check) within the preceding " +
+                std::to_string(kGuardWindowBefore) + " lines");
+      }
+      continue;
+    }
+
+    if ((t.text == "memcpy" || t.text == "memmove") &&
+        is_punct(toks, i + 1, "(")) {
+      if (!guarded(t.line)) {
+        add(findings, file, t.line, "contract-memcpy",
+            "unguarded " + t.text + " on a serialization path",
+            "validate the byte count against the remaining buffer with an "
+            "ECLAT_CHECK (or throwing check) within the preceding " +
+                std::to_string(kGuardWindowBefore) + " lines");
+      }
+      continue;
+    }
+  }
+}
+
+}  // namespace eclat::lint

@@ -1,0 +1,168 @@
+// Layering analyzer: the src/ tree is a declared DAG of modules (first
+// directory level under src/). An #include whose edge is not in the DAG is
+// rejected — so is any include cycle, module-level or file-level. Keeping
+// the DAG explicit here (not implicit in reviewers' heads) is what lets the
+// localized-Eclat argument stay auditable: the deterministic simulator (mc)
+// must never reach up into the algorithms that run on it, and the
+// sequential mining core must never know about the parallel substrate.
+//
+// Rules:
+//   layer-violation  include edge absent from the declared module DAG
+//   layer-unknown    file in a src/ module the DAG does not declare
+//   layer-cycle      cycle in the file-level include graph
+#include "lint.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace eclat::lint {
+
+namespace {
+
+/// The declared module DAG: module -> modules it may include. A module may
+/// always include itself. Order here is bottom-up for readability.
+const std::map<std::string, std::set<std::string>>& layer_dag() {
+  static const std::map<std::string, std::set<std::string>> dag = {
+      // Foundations.
+      {"common", {}},
+      {"data", {"common"}},
+      // The deterministic cluster simulator: pure substrate. It must not
+      // know any mining code exists.
+      {"mc", {"common"}},
+      // Vertical representation + kernels.
+      {"vertical", {"common", "data"}},
+      {"hashtree", {"common", "data"}},
+      {"gen", {"common", "data"}},
+      // Sequential mining layers.
+      {"apriori", {"common", "data", "vertical", "hashtree"}},
+      {"rules", {"common", "apriori"}},
+      {"eclat", {"common", "data", "vertical", "apriori"}},
+      {"clique", {"common", "data", "vertical", "apriori", "eclat"}},
+      {"partition", {"common", "data", "apriori", "eclat", "hashtree"}},
+      {"sampling",
+       {"common", "data", "vertical", "apriori", "eclat", "hashtree"}},
+      // Parallel algorithms: everything sequential plus the mc substrate.
+      {"parallel",
+       {"common", "data", "vertical", "apriori", "eclat", "hashtree", "mc"}},
+      // Public API: the only module allowed to see the whole tree.
+      {"api",
+       {"common", "data", "vertical", "apriori", "eclat", "hashtree", "mc",
+        "parallel", "partition", "rules", "sampling", "clique", "gen"}},
+  };
+  return dag;
+}
+
+std::string module_of_include(const std::string& include) {
+  const std::size_t slash = include.find('/');
+  if (slash == std::string::npos) return "";
+  return include.substr(0, slash);
+}
+
+}  // namespace
+
+void analyze_layering(const std::vector<SourceFile>& files,
+                      std::vector<Finding>& findings) {
+  const auto& dag = layer_dag();
+
+  // --- module-DAG edges (src/ files only) ---
+  for (const SourceFile& file : files) {
+    if (file.module.empty()) continue;  // tests/bench/examples: unrestricted
+    const auto self = dag.find(file.module);
+    if (self == dag.end()) {
+      findings.push_back(
+          {file.path, 1, "layer-unknown",
+           "module 'src/" + file.module + "' is not in the declared layer "
+           "DAG",
+           "declare the module and its allowed dependencies in "
+           "tools/lint/layering.cpp (and DESIGN.md §7)",
+           false, ""});
+      continue;
+    }
+    for (std::size_t k = 0; k < file.local_includes.size(); ++k) {
+      const std::string dep = module_of_include(file.local_includes[k]);
+      if (dep.empty() || dep == file.module) continue;
+      if (dag.find(dep) == dag.end()) continue;  // not a src module path
+      if (self->second.count(dep) == 0) {
+        findings.push_back(
+            {file.path, file.local_include_lines[k], "layer-violation",
+             "src/" + file.module + " may not include src/" + dep + " (\"" +
+                 file.local_includes[k] + "\")",
+             "allowed deps of '" + file.module + "' per the declared DAG; "
+             "move the shared piece down a layer or re-route through an "
+             "allowed one",
+             false, ""});
+      }
+    }
+  }
+
+  // --- file-level include cycles ---
+  // Nodes: root-relative paths of scanned files. Edges: resolved local
+  // includes (quoted includes are src/-relative in this tree).
+  std::map<std::string, std::vector<std::string>> graph;
+  std::map<std::string, int> include_line;
+  std::set<std::string> known;
+  for (const SourceFile& file : files) known.insert(file.path);
+  for (const SourceFile& file : files) {
+    for (std::size_t k = 0; k < file.local_includes.size(); ++k) {
+      const std::string target = "src/" + file.local_includes[k];
+      if (known.count(target) == 0) continue;
+      graph[file.path].push_back(target);
+      include_line[file.path + "->" + target] = file.local_include_lines[k];
+    }
+  }
+
+  // Iterative DFS with tricolor marking; report each cycle once, at the
+  // back-edge source.
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack_path;
+  std::set<std::string> reported;
+
+  // Recursive lambda via explicit stack to stay robust on deep graphs.
+  struct Frame {
+    std::string node;
+    std::size_t next = 0;
+  };
+  for (const SourceFile& file : files) {
+    if (color[file.path] != 0) continue;
+    std::vector<Frame> stack;
+    stack.push_back({file.path});
+    color[file.path] = 1;
+    stack_path.push_back(file.path);
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto edges = graph.find(frame.node);
+      if (edges == graph.end() || frame.next >= edges->second.size()) {
+        color[frame.node] = 2;
+        stack_path.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const std::string next = edges->second[frame.next++];
+      if (color[next] == 1) {
+        // Back edge: frame.node -> next closes a cycle.
+        const std::string key = frame.node + "->" + next;
+        if (reported.insert(key).second) {
+          std::string chain = next;
+          const auto begin = std::find(stack_path.begin(), stack_path.end(),
+                                       next);
+          for (auto it = begin + 1; it != stack_path.end(); ++it) {
+            chain += " -> " + *it;
+          }
+          chain += " -> " + next;
+          findings.push_back(
+              {frame.node, include_line[key], "layer-cycle",
+               "include cycle: " + chain,
+               "break the cycle with a forward declaration or by splitting "
+               "the shared type into a lower-layer header",
+               false, ""});
+        }
+      } else if (color[next] == 0) {
+        color[next] = 1;
+        stack_path.push_back(next);
+        stack.push_back({next});
+      }
+    }
+  }
+}
+
+}  // namespace eclat::lint

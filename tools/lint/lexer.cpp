@@ -1,0 +1,290 @@
+// Tokenizer for eclat-lint. Not a C++ parser: it splits a translation unit
+// into identifier / number / punctuation / literal tokens with line numbers,
+// strips comments and literal *contents* (so banned names inside strings or
+// comments never fire), and harvests two side channels the analyzers need:
+// #include directives and `eclat-lint:` suppression comments.
+#include "lint.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace eclat::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Parse an `eclat-lint: allow(...)` / `allow-file(...)` comment body.
+/// Returns true when the comment is a suppression at all (even a malformed
+/// one — those are recorded with empty ids/justification so the tool can
+/// report them instead of silently ignoring a typo).
+bool parse_suppression(const std::string& comment, int line,
+                       Suppression& out) {
+  const std::string marker = "eclat-lint:";
+  const std::size_t at = comment.find(marker);
+  if (at == std::string::npos) return false;
+  std::string rest = trim(comment.substr(at + marker.size()));
+  out.line = line;
+  if (rest.rfind("allow-file", 0) == 0) {
+    out.file_scope = true;
+    rest = rest.substr(10);
+  } else if (rest.rfind("allow", 0) == 0) {
+    out.file_scope = false;
+    rest = rest.substr(5);
+  } else {
+    return true;  // "eclat-lint:" followed by garbage: malformed suppression
+  }
+  rest = trim(rest);
+  if (rest.empty() || rest[0] != '(') return true;
+  const std::size_t close = rest.find(')');
+  if (close == std::string::npos) return true;
+  // Comma-separated rule ids inside the parens.
+  std::string ids = rest.substr(1, close - 1);
+  std::size_t pos = 0;
+  while (pos <= ids.size()) {
+    const std::size_t comma = ids.find(',', pos);
+    const std::string id =
+        trim(ids.substr(pos, comma == std::string::npos ? std::string::npos
+                                                        : comma - pos));
+    if (!id.empty()) out.ids.push_back(id);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  out.justification = trim(rest.substr(close + 1));
+  return true;
+}
+
+/// Handle one preprocessor line (already known to start with '#').
+void parse_directive(const std::string& line, int line_no, SourceFile& file) {
+  std::size_t i = 1;
+  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
+    ++i;
+  if (line.compare(i, 7, "include") != 0) return;
+  i += 7;
+  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i])))
+    ++i;
+  if (i >= line.size()) return;
+  if (line[i] == '"') {
+    const std::size_t end = line.find('"', i + 1);
+    if (end == std::string::npos) return;
+    file.local_includes.push_back(line.substr(i + 1, end - i - 1));
+    file.local_include_lines.push_back(line_no);
+  } else if (line[i] == '<') {
+    const std::size_t end = line.find('>', i + 1);
+    if (end == std::string::npos) return;
+    file.system_includes.push_back(line.substr(i + 1, end - i - 1));
+    file.system_include_lines.push_back(line_no);
+  }
+}
+
+}  // namespace
+
+SourceFile lex_file(const std::string& root_relative_path,
+                    const std::string& contents) {
+  SourceFile file;
+  file.path = root_relative_path;
+  if (root_relative_path.rfind("src/", 0) == 0) {
+    const std::size_t slash = root_relative_path.find('/', 4);
+    if (slash != std::string::npos) {
+      file.module = root_relative_path.substr(4, slash - 4);
+    }
+  }
+
+  const std::string& s = contents;
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the newline
+
+  auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n && i < s.size(); ++k, ++i) {
+      if (s[i] == '\n') {
+        ++line;
+        at_line_start = true;
+      }
+    }
+  };
+
+  while (i < s.size()) {
+    const char c = s[i];
+
+    if (c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+
+    // Preprocessor directive: consume the whole (possibly continued) line.
+    if (c == '#' && at_line_start) {
+      std::size_t end = i;
+      while (end < s.size()) {
+        if (s[end] == '\n' && (end == 0 || s[end - 1] != '\\')) break;
+        ++end;
+      }
+      parse_directive(s.substr(i, end - i), line, file);
+      advance(end - i);
+      continue;
+    }
+    at_line_start = false;
+
+    // Line comment.
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+      std::size_t end = s.find('\n', i);
+      if (end == std::string::npos) end = s.size();
+      const std::string body = s.substr(i + 2, end - i - 2);
+      Suppression sup;
+      if (parse_suppression(body, line, sup)) {
+        file.suppressions.push_back(sup);
+      }
+      advance(end - i);
+      continue;
+    }
+
+    // Block comment.
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t end = s.find("*/", i + 2);
+      if (end == std::string::npos) end = s.size();
+      const std::string body = s.substr(i + 2, end - i - 2);
+      Suppression sup;
+      if (parse_suppression(body, start_line, sup)) {
+        file.suppressions.push_back(sup);
+      }
+      advance((end == s.size() ? end : end + 2) - i);
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < s.size() && s[i + 1] == '"' &&
+        (file.tokens.empty() ||
+         !ident_char(s[i == 0 ? 0 : i - 1]))) {
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < s.size() && s[p] != '(' && delim.size() < 16) {
+        delim += s[p++];
+      }
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = s.find(closer, p);
+      end = (end == std::string::npos) ? s.size() : end + closer.size();
+      file.tokens.push_back({TokKind::kString, "<raw-string>", line});
+      advance(end - i);
+      continue;
+    }
+
+    // String / char literal: contents dropped.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t p = i + 1;
+      while (p < s.size() && s[p] != quote) {
+        if (s[p] == '\\' && p + 1 < s.size()) ++p;
+        ++p;
+      }
+      file.tokens.push_back({quote == '"' ? TokKind::kString : TokKind::kChar,
+                             quote == '"' ? "<string>" : "<char>", line});
+      advance((p < s.size() ? p + 1 : p) - i);
+      continue;
+    }
+
+    if (ident_start(c)) {
+      std::size_t p = i;
+      while (p < s.size() && ident_char(s[p])) ++p;
+      file.tokens.push_back({TokKind::kIdentifier, s.substr(i, p - i), line});
+      advance(p - i);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t p = i;
+      while (p < s.size() &&
+             (ident_char(s[p]) || s[p] == '.' || s[p] == '\'')) {
+        ++p;
+      }
+      file.tokens.push_back({TokKind::kNumber, s.substr(i, p - i), line});
+      advance(p - i);
+      continue;
+    }
+
+    // Punctuation: emit `->` as one token (member access), everything else
+    // as single characters (`::` is two ':' tokens; analyzers pair them).
+    if (c == '-' && i + 1 < s.size() && s[i + 1] == '>') {
+      file.tokens.push_back({TokKind::kPunct, "->", line});
+      advance(2);
+      continue;
+    }
+    file.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    advance(1);
+  }
+
+  return file;
+}
+
+bool is_ident(const std::vector<Token>& toks, std::size_t i,
+              const char* text) {
+  return i < toks.size() && toks[i].kind == TokKind::kIdentifier &&
+         toks[i].text == text;
+}
+
+bool is_punct(const std::vector<Token>& toks, std::size_t i,
+              const char* text) {
+  return i < toks.size() && toks[i].kind == TokKind::kPunct &&
+         toks[i].text == text;
+}
+
+bool preceded_by_std(const std::vector<Token>& toks, std::size_t i) {
+  return i >= 3 && is_punct(toks, i - 1, ":") && is_punct(toks, i - 2, ":") &&
+         is_ident(toks, i - 3, "std");
+}
+
+bool is_member_or_foreign_qualified(const std::vector<Token>& toks,
+                                    std::size_t i) {
+  if (i >= 1 &&
+      (is_punct(toks, i - 1, ".") || is_punct(toks, i - 1, "->"))) {
+    return true;
+  }
+  if (i >= 3 && is_punct(toks, i - 1, ":") && is_punct(toks, i - 2, ":") &&
+      toks[i - 3].kind == TokKind::kIdentifier && toks[i - 3].text != "std") {
+    return true;
+  }
+  return false;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace eclat::lint

@@ -1,0 +1,124 @@
+// eclat-lint: project-specific static analysis for the parallel-Eclat tree.
+//
+// The repo's headline guarantee — mined output and makespans are replayable
+// pure functions of (plan, seed) — rests on conventions no general-purpose
+// tool checks. eclat-lint enforces them mechanically, over a real tokenizer
+// (comments/strings stripped, identifiers exact) instead of grep:
+//
+//   determinism  det-wallclock, det-random, det-thread, det-ptr-key,
+//                det-unordered-iter
+//   layering     layer-violation, layer-unknown, layer-cycle
+//   contracts    contract-assert, contract-abort, contract-cast,
+//                contract-memcpy
+//   (tool)       lint-suppression — malformed/unjustified suppressions
+//
+// Suppressions are inline comments, justification mandatory:
+//   // eclat-lint: allow(det-thread) simulator substrate: procs are real threads
+//   // eclat-lint: allow-file(det-thread) this file IS the threading substrate
+// `allow` covers the same line or the next code line; `allow-file` covers the
+// whole file. Every suppression is counted and surfaced in the report.
+//
+// See DESIGN.md §7 for the rule sets and the declared layer DAG.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace eclat::lint {
+
+enum class TokKind { kIdentifier, kNumber, kPunct, kString, kChar };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+/// One `// eclat-lint: allow(...)` / `allow-file(...)` comment.
+struct Suppression {
+  std::vector<std::string> ids;  ///< rule ids this comment allows
+  std::string justification;     ///< required free text after the paren
+  int line = 0;                  ///< line the comment sits on
+  bool file_scope = false;       ///< allow-file(...)
+  bool used = false;             ///< matched at least one finding
+};
+
+struct SourceFile {
+  std::string path;    ///< root-relative, '/'-separated
+  std::string module;  ///< first dir under src/ ("mc", ...); empty otherwise
+  std::vector<Token> tokens;
+  std::vector<std::string> local_includes;   ///< #include "x/y.hpp"
+  std::vector<int> local_include_lines;      ///< parallel to local_includes
+  std::vector<std::string> system_includes;  ///< #include <...>
+  std::vector<int> system_include_lines;     ///< parallel to system_includes
+  std::vector<Suppression> suppressions;
+};
+
+struct Finding {
+  std::string path;
+  int line = 0;
+  std::string id;
+  std::string message;
+  std::string hint;
+  bool suppressed = false;
+  std::string justification;  ///< filled when suppressed
+};
+
+/// All rule ids a suppression may name; anything else is a typo and is
+/// itself reported (lint-suppression).
+const std::set<std::string>& known_rule_ids();
+
+/// Analyzer family ("determinism", "layering", "contracts", "suppression")
+/// derived from a rule id's prefix.
+std::string analyzer_of(const std::string& id);
+
+/// Tokenize one file: strips comments and string/char literals (recording
+/// eclat-lint suppression comments), records #include lines, and derives
+/// the src/ module from the path.
+SourceFile lex_file(const std::string& root_relative_path,
+                    const std::string& contents);
+
+/// Determinism rules (per-file). `emission_path` marks files on the result
+/// emission / wire-serialization path (see main.cpp for the definition).
+void analyze_determinism(const SourceFile& file, bool emission_path,
+                         std::vector<Finding>& findings);
+
+/// Layering rules (whole-program: module DAG + include cycles).
+void analyze_layering(const std::vector<SourceFile>& files,
+                      std::vector<Finding>& findings);
+
+/// Contract rules (per-file). `serialization_path` marks wire/result_io/io
+/// files where unguarded reinterpret_cast/memcpy are rejected.
+void analyze_contracts(const SourceFile& file, bool serialization_path,
+                       std::vector<Finding>& findings);
+
+/// Match findings against suppressions (marking both sides), then append
+/// lint-suppression findings for unjustified or unknown-id suppressions.
+/// lint-suppression findings are never themselves suppressible.
+void apply_suppressions(std::vector<SourceFile>& files,
+                        std::vector<Finding>& findings);
+
+// --- helpers shared by analyzers ---
+
+/// True when tokens[i] is an identifier with this exact text.
+bool is_ident(const std::vector<Token>& toks, std::size_t i,
+              const char* text);
+
+/// True when tokens[i] is this punctuation text.
+bool is_punct(const std::vector<Token>& toks, std::size_t i,
+              const char* text);
+
+/// True when tokens[i] is directly preceded by `std ::`.
+bool preceded_by_std(const std::vector<Token>& toks, std::size_t i);
+
+/// True when tokens[i] is preceded by `.` or `->` (member access) or by a
+/// non-std `X ::` qualifier.
+bool is_member_or_foreign_qualified(const std::vector<Token>& toks,
+                                    std::size_t i);
+
+std::string json_escape(const std::string& s);
+
+}  // namespace eclat::lint

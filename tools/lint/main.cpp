@@ -1,0 +1,230 @@
+// eclat-lint driver: file discovery, analyzer dispatch, reporting.
+//
+//   eclat-lint --root <repo> [--json] [--exclude <substr>]... [--quiet]
+//
+// Scans src/, bench/, and tests/ under the root (skipping build trees and
+// the intentionally-bad tests/lint_corpus snippets), runs the determinism,
+// layering, and contracts analyzers, honors inline suppressions, and exits
+// nonzero when any unsuppressed finding remains. --json emits a structured
+// report on stdout (findings sorted by path, line, id) for the CI artifact
+// and the golden-corpus tests.
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace eclat::lint {
+namespace {
+
+struct Options {
+  std::string root = ".";
+  bool json = false;
+  bool quiet = false;
+  std::vector<std::string> excludes = {"lint_corpus", "/build"};
+};
+
+bool has_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+/// Is this file on the result-emission / wire-serialization path? By
+/// definition (DESIGN.md §7): the wire and result/IO modules themselves,
+/// plus every src/ file that includes them.
+bool on_emission_path(const SourceFile& file) {
+  if (file.module.empty()) return false;
+  if (file.path.find("parallel/wire.") != std::string::npos) return true;
+  if (file.path.find("data/result_io.") != std::string::npos) return true;
+  if (file.path.find("data/io.") != std::string::npos) return true;
+  for (const std::string& inc : file.local_includes) {
+    if (inc == "parallel/wire.hpp" || inc == "data/result_io.hpp" ||
+        inc == "data/io.hpp") {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Files where unguarded reinterpret_cast/memcpy are contract violations:
+/// the byte-reinterpreting serialization modules themselves.
+bool on_serialization_path(const SourceFile& file) {
+  if (file.module.empty()) return false;
+  return file.path.find("parallel/wire.") != std::string::npos ||
+         file.path.find("data/result_io.") != std::string::npos ||
+         file.path.find("data/io.") != std::string::npos;
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::string relative_path(const fs::path& p, const fs::path& root) {
+  std::string rel = fs::relative(p, root).generic_string();
+  return rel;
+}
+
+void print_human(const std::vector<Finding>& findings,
+                 std::size_t files_scanned, std::size_t suppression_count,
+                 bool quiet) {
+  std::size_t unsuppressed = 0;
+  std::size_t suppressed = 0;
+  for (const Finding& f : findings) {
+    if (f.suppressed) {
+      ++suppressed;
+      if (!quiet) {
+        std::cout << f.path << ":" << f.line << ": [" << f.id
+                  << "] suppressed: " << f.message
+                  << "\n    justification: " << f.justification << "\n";
+      }
+      continue;
+    }
+    ++unsuppressed;
+    std::cout << f.path << ":" << f.line << ": [" << f.id << "] "
+              << f.message << "\n    hint: " << f.hint << "\n";
+  }
+  std::cout << "eclat-lint: " << files_scanned << " files, " << unsuppressed
+            << " finding(s), " << suppressed << " suppressed ("
+            << suppression_count << " suppression comment(s))\n";
+}
+
+void print_json(const std::vector<Finding>& findings,
+                std::size_t files_scanned, std::size_t suppression_count) {
+  std::map<std::string, std::size_t> by_analyzer;
+  std::size_t suppressed = 0;
+  for (const Finding& f : findings) {
+    if (f.suppressed) {
+      ++suppressed;
+    } else {
+      ++by_analyzer[analyzer_of(f.id)];
+    }
+  }
+  std::cout << "{\n  \"files_scanned\": " << files_scanned << ",\n";
+  std::cout << "  \"findings\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    std::cout << "    {\"path\": \"" << json_escape(f.path)
+              << "\", \"line\": " << f.line << ", \"id\": \""
+              << json_escape(f.id) << "\", \"analyzer\": \""
+              << analyzer_of(f.id) << "\", \"message\": \""
+              << json_escape(f.message) << "\", \"hint\": \""
+              << json_escape(f.hint) << "\", \"suppressed\": "
+              << (f.suppressed ? "true" : "false")
+              << ", \"justification\": \"" << json_escape(f.justification)
+              << "\"}" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  std::cout << "  ],\n";
+  std::cout << "  \"summary\": {\"total\": " << findings.size()
+            << ", \"suppressed\": " << suppressed << ", \"unsuppressed\": "
+            << findings.size() - suppressed
+            << ", \"suppression_comments\": " << suppression_count
+            << ", \"by_analyzer\": {";
+  bool first = true;
+  for (const auto& entry : by_analyzer) {
+    std::cout << (first ? "" : ", ") << "\"" << entry.first
+              << "\": " << entry.second;
+    first = false;
+  }
+  std::cout << "}}\n}\n";
+}
+
+int run(const Options& opts) {
+  const fs::path root(opts.root);
+  if (!fs::is_directory(root)) {
+    std::cerr << "eclat-lint: root '" << opts.root
+              << "' is not a directory\n";
+    return 2;
+  }
+
+  std::vector<fs::path> inputs;
+  for (const char* dir : {"src", "bench", "tests"}) {
+    const fs::path base = root / dir;
+    if (!fs::is_directory(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file() || !has_extension(entry.path())) continue;
+      const std::string rel = relative_path(entry.path(), root);
+      bool excluded = false;
+      for (const std::string& ex : opts.excludes) {
+        if (("/" + rel).find(ex) != std::string::npos) excluded = true;
+      }
+      if (!excluded) inputs.push_back(entry.path());
+    }
+  }
+  std::sort(inputs.begin(), inputs.end());
+
+  std::vector<SourceFile> files;
+  files.reserve(inputs.size());
+  for (const fs::path& p : inputs) {
+    files.push_back(lex_file(relative_path(p, root), slurp(p)));
+  }
+
+  std::vector<Finding> findings;
+  for (const SourceFile& file : files) {
+    analyze_determinism(file, on_emission_path(file), findings);
+    analyze_contracts(file, on_serialization_path(file), findings);
+  }
+  analyze_layering(files, findings);
+  apply_suppressions(files, findings);
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.id < b.id;
+            });
+
+  std::size_t suppression_count = 0;
+  for (const SourceFile& file : files) {
+    suppression_count += file.suppressions.size();
+  }
+
+  if (opts.json) {
+    print_json(findings, files.size(), suppression_count);
+  } else {
+    print_human(findings, files.size(), suppression_count, opts.quiet);
+  }
+
+  for (const Finding& f : findings) {
+    if (!f.suppressed) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace eclat::lint
+
+int main(int argc, char** argv) {
+  eclat::lint::Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      opts.root = argv[++i];
+    } else if (arg == "--json") {
+      opts.json = true;
+    } else if (arg == "--quiet") {
+      opts.quiet = true;
+    } else if (arg == "--exclude" && i + 1 < argc) {
+      opts.excludes.push_back(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout
+          << "usage: eclat-lint [--root <dir>] [--json] [--quiet] "
+             "[--exclude <substr>]...\n"
+             "Project static analysis: determinism, layering, contracts.\n"
+             "Exits 1 on any unsuppressed finding, 2 on usage errors.\n";
+      return 0;
+    } else {
+      std::cerr << "eclat-lint: unknown argument '" << arg
+                << "' (try --help)\n";
+      return 2;
+    }
+  }
+  return eclat::lint::run(opts);
+}

@@ -1,0 +1,88 @@
+// Suppression matching. A finding is suppressed by a comment naming its
+// rule id either file-wide (`allow-file`) or on the finding's line / the
+// line directly above (`allow`). Justifications are mandatory: the point of
+// an inline suppression is to move the reviewer argument into the tree, so
+// an empty justification — or a rule id the tool does not know — is itself
+// a finding (lint-suppression), and that finding cannot be suppressed.
+#include "lint.hpp"
+
+#include <algorithm>
+
+namespace eclat::lint {
+
+const std::set<std::string>& known_rule_ids() {
+  static const std::set<std::string> ids = {
+      "det-wallclock",   "det-random",     "det-thread",
+      "det-ptr-key",     "det-unordered-iter",
+      "layer-violation", "layer-unknown",  "layer-cycle",
+      "contract-assert", "contract-abort", "contract-cast",
+      "contract-memcpy", "lint-suppression",
+  };
+  return ids;
+}
+
+std::string analyzer_of(const std::string& id) {
+  if (id.rfind("det-", 0) == 0) return "determinism";
+  if (id.rfind("layer-", 0) == 0) return "layering";
+  if (id.rfind("contract-", 0) == 0) return "contracts";
+  return "suppression";
+}
+
+void apply_suppressions(std::vector<SourceFile>& files,
+                        std::vector<Finding>& findings) {
+  for (SourceFile& file : files) {
+    // Match this file's findings against this file's suppressions.
+    for (Finding& finding : findings) {
+      if (finding.path != file.path) continue;
+      for (Suppression& sup : file.suppressions) {
+        if (std::find(sup.ids.begin(), sup.ids.end(), finding.id) ==
+            sup.ids.end()) {
+          continue;
+        }
+        if (sup.justification.empty()) continue;  // not a valid suppression
+        const bool in_scope =
+            sup.file_scope ||
+            finding.line == sup.line || finding.line == sup.line + 1;
+        if (!in_scope) continue;
+        finding.suppressed = true;
+        finding.justification = sup.justification;
+        sup.used = true;
+        break;
+      }
+    }
+
+    // Malformed suppressions become findings of their own.
+    for (const Suppression& sup : file.suppressions) {
+      if (sup.ids.empty()) {
+        findings.push_back(
+            {file.path, sup.line, "lint-suppression",
+             "malformed eclat-lint comment (expected "
+             "`eclat-lint: allow(<rule-id>) <justification>`)",
+             "name at least one rule id in the parens", false, ""});
+        continue;
+      }
+      bool unknown = false;
+      for (const std::string& id : sup.ids) {
+        if (known_rule_ids().count(id) == 0) {
+          findings.push_back(
+              {file.path, sup.line, "lint-suppression",
+               "suppression names unknown rule id '" + id + "'",
+               "valid ids are listed in DESIGN.md §7 (and tools/lint/"
+               "suppress.cpp)",
+               false, ""});
+          unknown = true;
+        }
+      }
+      if (!unknown && sup.justification.empty()) {
+        findings.push_back(
+            {file.path, sup.line, "lint-suppression",
+             "suppression without a justification",
+             "append the reason after the closing paren: "
+             "`// eclat-lint: allow(" + sup.ids.front() + ") <why>`",
+             false, ""});
+      }
+    }
+  }
+}
+
+}  // namespace eclat::lint

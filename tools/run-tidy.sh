@@ -2,7 +2,11 @@
 # clang-tidy driver for the repo: runs the .clang-tidy check set over every
 # translation unit in src/ using a compile_commands.json database.
 #
-#   tools/run-tidy.sh [build-dir] [-- extra clang-tidy args]
+#   tools/run-tidy.sh [--diff [base-ref]] [build-dir] [-- extra clang-tidy args]
+#
+# --diff restricts the run to src/ .cpp files changed relative to base-ref
+# (default: origin/main if it resolves, else HEAD), plus uncommitted edits —
+# the fast pre-push / PR mode. Without it every file is checked.
 #
 # Exits non-zero on any warning (WarningsAsErrors: '*'). When clang-tidy is
 # not installed (e.g. a gcc-only container), prints a notice and exits 0 so
@@ -11,6 +15,19 @@
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+diff_mode=0
+diff_base=""
+if [[ "${1:-}" == "--diff" ]]; then
+  diff_mode=1
+  shift
+  if [[ $# -gt 0 && "${1}" != "--" && ! -d "${1}" ]] &&
+     git -C "${repo_root}" rev-parse --verify --quiet "${1}^{commit}" > /dev/null; then
+    diff_base="${1}"
+    shift
+  fi
+fi
+
 build_dir="${1:-"${repo_root}/build"}"
 shift $(( $# > 0 ? 1 : 0 )) || true
 if [[ "${1:-}" == "--" ]]; then shift; fi
@@ -34,8 +51,32 @@ if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
     -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
 fi
 
-mapfile -t sources < <(find "${repo_root}/src" -name '*.cpp' | sort)
-echo "run-tidy: ${tidy_bin} over ${#sources[@]} files in src/" >&2
+if [[ ${diff_mode} -eq 1 ]]; then
+  if [[ -z "${diff_base}" ]]; then
+    if git -C "${repo_root}" rev-parse --verify --quiet \
+        "origin/main^{commit}" > /dev/null; then
+      diff_base="origin/main"
+    else
+      diff_base="HEAD"
+    fi
+  fi
+  # Committed changes vs the base, plus staged/unstaged edits; cpp only.
+  mapfile -t sources < <(
+    {
+      git -C "${repo_root}" diff --name-only --diff-filter=d \
+        "${diff_base}" -- 'src/*.cpp'
+      git -C "${repo_root}" diff --name-only --cached --diff-filter=d \
+        -- 'src/*.cpp'
+    } | sort -u | while read -r rel; do echo "${repo_root}/${rel}"; done)
+  if [[ ${#sources[@]} -eq 0 ]]; then
+    echo "run-tidy: no src/ .cpp files changed vs ${diff_base}; nothing to do" >&2
+    exit 0
+  fi
+  echo "run-tidy: ${tidy_bin} over ${#sources[@]} changed file(s) vs ${diff_base}" >&2
+else
+  mapfile -t sources < <(find "${repo_root}/src" -name '*.cpp' | sort)
+  echo "run-tidy: ${tidy_bin} over ${#sources[@]} files in src/" >&2
+fi
 
 status=0
 for source in "${sources[@]}"; do
