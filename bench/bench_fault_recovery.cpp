@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/clock.hpp"
 #include "mc/fault.hpp"
 #include "parallel/count_distribution.hpp"
 #include "parallel/par_eclat.hpp"
@@ -50,6 +51,7 @@ struct Row {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const eclat::WallStopwatch bench_watch;
   using namespace eclat;
   using namespace eclat::bench;
   const Flags flags(argc, argv);
@@ -129,8 +131,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot open %s for writing\n", path);
       return 1;
     }
+    std::fprintf(out, "{\n  \"benchmark\": \"fault_recovery\",\n");
+    eclat::bench::write_backend_fields(out, "mc", "virtual",
+                                       bench_watch.elapsed_seconds());
     std::fprintf(out,
-                 "{\n  \"benchmark\": \"fault_recovery\",\n"
                  "  \"database\": \"%s\",\n  \"scale\": %g,\n"
                  "  \"support\": %g,\n  \"crash\": "
                  "\"highest-id processor after first class checkpoint\",\n"

@@ -124,6 +124,7 @@ EndToEndRow run_end_to_end(const std::string& name,
 
 int main(int argc, char** argv) {
   using eclat::bench::print_rule;
+  const WallStopwatch bench_watch;
   const Flags flags(argc, argv);
   const std::string kernel_filter =
       flags.get_choice("kernel", kKernelChoices, "all");
@@ -202,8 +203,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot open %s for writing\n", path);
       return 1;
     }
+    std::fprintf(out, "{\n  \"benchmark\": \"kernels\",\n");
+    eclat::bench::write_backend_fields(out, "host", "wall",
+                                       bench_watch.elapsed_seconds());
     std::fprintf(out,
-                 "{\n  \"benchmark\": \"kernels\",\n"
                  "  \"universe\": %u,\n  \"micro_tids_per_second\": [\n",
                  kUniverse);
     for (std::size_t i = 0; i < micro.size(); ++i) {

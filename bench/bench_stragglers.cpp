@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/clock.hpp"
 #include "mc/fault.hpp"
 #include "parallel/par_eclat.hpp"
 
@@ -84,6 +85,7 @@ struct Row {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const eclat::WallStopwatch bench_watch;
   using namespace eclat;
   using namespace eclat::bench;
   const Flags flags(argc, argv);
@@ -191,8 +193,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot open %s for writing\n", path);
       return 1;
     }
+    std::fprintf(out, "{\n  \"benchmark\": \"stragglers\",\n");
+    eclat::bench::write_backend_fields(out, "mc", "virtual",
+                                       bench_watch.elapsed_seconds());
     std::fprintf(out,
-                 "{\n  \"benchmark\": \"stragglers\",\n"
                  "  \"database\": \"%s\",\n  \"scale\": %g,\n"
                  "  \"support\": %g,\n  \"lease_gaps\": %g,\n"
                  "  \"straggler\": "

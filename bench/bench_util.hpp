@@ -70,4 +70,21 @@ inline void print_rule(char fill = '-', int width = 78) {
   std::putchar('\n');
 }
 
+/// Uniform execution/timing stamp for BENCH_*.json headers, emitted right
+/// after the "benchmark" field by every bench that writes JSON:
+///   backend — which execution substrate produced the *_s row fields
+///             ("mc" = virtual-time simulator, "threads" = native pool,
+///             "host" = plain sequential execution);
+///   timing  — which clock those fields are in ("virtual" under the
+///             simulator, "wall" for native runs);
+///   bench_wall_seconds — host wall clock of the whole bench run, so even
+///             virtual-time trajectories carry a real-time anchor.
+inline void write_backend_fields(std::FILE* out, const char* backend,
+                                 const char* timing, double wall_seconds) {
+  std::fprintf(out,
+               "  \"backend\": \"%s\",\n  \"timing\": \"%s\",\n"
+               "  \"bench_wall_seconds\": %.3f,\n",
+               backend, timing, wall_seconds);
+}
+
 }  // namespace eclat::bench

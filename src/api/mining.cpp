@@ -4,6 +4,21 @@
 
 namespace eclat::api {
 
+namespace {
+
+// Only par_eclat runs on the native thread backend so far; give the
+// other parallel algorithms a pointed error instead of silently ignoring
+// --backend=threads.
+void require_mc_backend(const MineOptions& options, const char* algorithm) {
+  if (options.backend == exec::BackendKind::kMc) return;
+  throw std::invalid_argument(
+      std::string("algorithm '") + algorithm +
+      "' only runs on the mc backend; use --backend=mc (the default) or "
+      "switch to --algorithm=pareclat for --backend=threads");
+}
+
+}  // namespace
+
 par::ParallelOutput mine_with_stats(const HorizontalDatabase& db,
                                     const MineOptions& options) {
   const Count minsup = absolute_support(options.min_support, db.size());
@@ -45,18 +60,23 @@ par::ParallelOutput mine_with_stats(const HorizontalDatabase& db,
       return output;
     }
     case Algorithm::kParEclat: {
-      mc::Cluster cluster(options.topology, options.cost);
       par::ParEclatConfig config;
       config.minsup = minsup;
-      return par::par_eclat(cluster, db, config);
+      const exec::ThreadBackendOptions thread_options{options.exec_threads,
+                                                      options.exec_scheduler};
+      const std::unique_ptr<exec::Backend> backend = exec::make_backend(
+          options.backend, options.topology, options.cost, thread_options);
+      return backend->mine(db, config);
     }
     case Algorithm::kHybridEclat: {
+      require_mc_backend(options, "hybrid");
       mc::Cluster cluster(options.topology, options.cost);
       par::ParEclatConfig config;
       config.minsup = minsup;
       return par::hybrid_eclat(cluster, db, config);
     }
     case Algorithm::kCountDistribution: {
+      require_mc_backend(options, "cd");
       mc::Cluster cluster(options.topology, options.cost);
       par::CountDistributionConfig config;
       config.minsup = minsup;

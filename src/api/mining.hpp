@@ -10,6 +10,7 @@
 #include "common/result.hpp"
 #include "data/horizontal.hpp"
 #include "eclat/eclat_seq.hpp"
+#include "exec/backend.hpp"
 #include "mc/cluster.hpp"
 #include "parallel/count_distribution.hpp"
 #include "parallel/hybrid.hpp"
@@ -37,6 +38,15 @@ struct MineOptions {
   /// Cluster shape for the parallel algorithms; ignored by sequential ones.
   mc::Topology topology{1, 1};
   mc::CostModel cost;
+  /// Execution backend for kParEclat: the deterministic virtual-time
+  /// simulator (default) or the native shared-memory thread pool. The
+  /// other parallel algorithms are simulator-only for now and reject
+  /// kThreads with an actionable error.
+  exec::BackendKind backend = exec::BackendKind::kMc;
+  /// Worker threads for the threads backend; 0 = hardware concurrency.
+  std::size_t exec_threads = 0;
+  /// Class scheduler for the threads backend.
+  exec::ClassScheduler exec_scheduler = exec::ClassScheduler::kWorkStealing;
 };
 
 /// Mine all frequent itemsets of `db`.

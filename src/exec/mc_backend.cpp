@@ -1,0 +1,20 @@
+#include "exec/mc_backend.hpp"
+
+#include "common/clock.hpp"
+#include "mc/cluster.hpp"
+#include "parallel/par_eclat.hpp"
+
+namespace eclat::exec {
+
+par::ParallelOutput McBackend::mine(const HorizontalDatabase& db,
+                                    const par::ParEclatConfig& config) {
+  WallStopwatch wall;
+  mc::Cluster cluster(topology_, cost_);
+  par::ParallelOutput output = par::par_eclat(cluster, db, config);
+  output.backend = "mc";
+  output.exec_threads = topology_.total();
+  output.wall_seconds = wall.elapsed_seconds();
+  return output;
+}
+
+}  // namespace eclat::exec

@@ -1,0 +1,33 @@
+// The simulator flavour of the backend seam: wraps a fresh mc::Cluster
+// per run around the existing par_eclat pipeline. Keeps every research
+// capability of the simulator — virtual-time makespans, fault plans,
+// leases, straggler speculation — behind the same Backend interface the
+// native thread pool implements.
+#pragma once
+
+#include "exec/backend.hpp"
+#include "mc/cost_model.hpp"
+#include "mc/topology.hpp"
+
+namespace eclat::exec {
+
+class McBackend final : public Backend {
+ public:
+  McBackend(const mc::Topology& topology, const mc::CostModel& cost)
+      : topology_(topology), cost_(cost) {}
+
+  std::string_view name() const override { return "mc"; }
+  std::size_t workers() const override { return topology_.total(); }
+
+  /// Runs par_eclat on a fresh Cluster. total_seconds stays the virtual
+  /// makespan; wall_seconds additionally records how long the simulation
+  /// itself took on the host.
+  par::ParallelOutput mine(const HorizontalDatabase& db,
+                           const par::ParEclatConfig& config) override;
+
+ private:
+  mc::Topology topology_;
+  mc::CostModel cost_;
+};
+
+}  // namespace eclat::exec

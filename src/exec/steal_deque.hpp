@@ -1,0 +1,122 @@
+// Chase–Lev-style work-stealing deque for equivalence-class scheduling
+// (Chase & Lev, "Dynamic Circular Work-Stealing Deque", SPAA 2005; memory
+// ordering after Lê et al., "Correct and Efficient Work-Stealing for Weak
+// Memory Models", PPoPP 2013).
+//
+// One owner pushes and pops at the bottom (LIFO — the most recently
+// queued class is the one whose tid-lists are hottest in cache); any
+// number of thieves steal from the top (FIFO — the oldest entry, which
+// under the ascending-weight seeding order of the thread backend is the
+// heaviest class still queued on the victim).
+//
+// Deviations from the textbook structure, both deliberate:
+//   - The ring buffer has a fixed capacity chosen at construction. Class
+//     tasks are all known before mining starts (classes never spawn
+//     sibling classes), so the owner pushes at most `capacity` entries
+//     and growth is dead code we do not carry.
+//   - The fence-based fast path is replaced by seq_cst operations on
+//     top/bottom. ThreadSanitizer does not model standalone
+//     atomic_thread_fence, so the fence variant reports false races and
+//     cannot serve as the tsan canary this deque is meant to be; the
+//     seq_cst variant is tsan-exact. Class mining is orders of magnitude
+//     heavier than a deque operation, so the extra barrier is noise.
+//
+// Cells are atomics themselves: a steal may read a cell concurrently with
+// the owner overwriting it after winning the CAS race; the CAS decides
+// whose read was authoritative, and the atomic cell keeps the racing
+// access defined.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace eclat::exec {
+
+class StealDeque {
+ public:
+  /// Capacity must cover every push the owner will ever issue (the thread
+  /// backend sizes it to the number of owned classes).
+  explicit StealDeque(std::size_t capacity)
+      : mask_(round_up_pow2(capacity) - 1),
+        cells_(mask_ + 1) {}
+
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  /// Owner only: queue a task at the bottom.
+  void push(std::size_t task) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    // Capacity must cover every push (the ring never grows).
+    ECLAT_CHECK(b - t < static_cast<std::int64_t>(mask_ + 1));
+    cells_[static_cast<std::size_t>(b) & mask_].store(
+        task, std::memory_order_relaxed);
+    // Release: a thief that observes the new bottom also observes the
+    // cell write above.
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+
+  /// Owner only: take the most recently pushed task (LIFO).
+  std::optional<std::size_t> pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // already empty
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    const std::size_t task =
+        cells_[static_cast<std::size_t>(b) & mask_].load(
+            std::memory_order_relaxed);
+    if (t != b) return task;  // more than one entry: no race possible
+    // Last entry: race the thieves for it through the same CAS they use.
+    const bool won = top_.compare_exchange_strong(
+        t, t + 1, std::memory_order_seq_cst, std::memory_order_seq_cst);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    if (!won) return std::nullopt;  // a thief got there first
+    return task;
+  }
+
+  /// Thieves: take the oldest queued task (FIFO). May spuriously fail
+  /// under contention (another thief or the owner won the race) — callers
+  /// loop over victims anyway.
+  std::optional<std::size_t> steal() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return std::nullopt;  // empty (or owner mid-pop on last)
+    const std::size_t task =
+        cells_[static_cast<std::size_t>(t) & mask_].load(
+            std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst)) {
+      return std::nullopt;  // lost the race; the read above was stale
+    }
+    return task;
+  }
+
+  /// Approximate size (exact when quiescent; a hint otherwise).
+  std::size_t size_hint() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p < 2 ? 2 : p;
+  }
+
+  std::size_t mask_;
+  std::vector<std::atomic<std::size_t>> cells_;
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+};
+
+}  // namespace eclat::exec

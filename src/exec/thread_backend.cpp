@@ -1,0 +1,244 @@
+#include "exec/thread_backend.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "apriori/apriori.hpp"
+#include "common/clock.hpp"
+#include "eclat/compute_frequent.hpp"
+#include "eclat/tid_arena.hpp"
+#include "exec/steal_deque.hpp"
+#include "parallel/parallel_common.hpp"
+#include "parallel/pipeline.hpp"
+#include "vertical/vertical_db.hpp"
+
+namespace eclat::exec {
+
+namespace {
+
+// Spawn-join SPMD region: run `body(w)` on `workers` real threads, join
+// them all, then rethrow the first exception any worker raised. Every
+// region boundary is a full barrier (thread join), so plain writes made
+// inside one region are visible in the next without further
+// synchronization.
+template <typename Body>
+void parallel_region(std::size_t workers, Body&& body) {
+  std::vector<std::exception_ptr> errors(workers);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      try {
+        body(w);
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace
+
+par::ParallelOutput ThreadBackend::mine(const HorizontalDatabase& db,
+                                        const par::ParEclatConfig& config) {
+  const std::size_t W = threads_;
+  // Same block partition as the simulator path: Topology{1, W} makes
+  // local_partition split the database into W equal contiguous blocks,
+  // so per-block partial tid-lists concatenated in block order are
+  // globally sorted (paper §6.3) for any W.
+  const mc::Topology topo{1, W};
+  WallStopwatch wall;
+
+  // ----- Phase 1: initialization. Per-worker local counts, then a
+  // sum-merge — exact integer arithmetic, so the merged counts equal the
+  // simulator's tree reduction for any W. -----
+  std::vector<TriangleCounter> counters(W, TriangleCounter(db.num_items()));
+  std::vector<std::vector<Count>> item_partials(W);
+  parallel_region(W, [&](std::size_t w) {
+    const std::span<const Transaction> local =
+        par::local_partition(db, topo, w);
+    counters[w].count(local);
+    if (config.include_singletons) {
+      item_partials[w] = count_items(local, db.num_items());
+    }
+  });
+  TriangleCounter counter = std::move(counters[0]);
+  for (std::size_t w = 1; w < W; ++w) counter.merge(counters[w]);
+  std::vector<Count> item_counts(db.num_items(), 0);
+  for (const std::vector<Count>& partial : item_partials) {
+    for (std::size_t i = 0; i < partial.size(); ++i) {
+      item_counts[i] += partial[i];
+    }
+  }
+  const double t_init = wall.elapsed_seconds();
+
+  // ----- Phase 2: transformation. The plan is a pure function of the
+  // merged counts; each worker inverts its block, then per-class global
+  // tid-lists are assembled (classes striped over workers; each pair
+  // belongs to exactly one class, so writers never collide and the
+  // per-block maps are only read). -----
+  const par::MiningPlan plan =
+      par::derive_plan(counter, config.minsup, W, config.schedule);
+  std::vector<std::unordered_map<PairKey, TidList>> block_lists(W);
+  parallel_region(W, [&](std::size_t w) {
+    block_lists[w] =
+        invert_pairs(par::local_partition(db, topo, w), plan.exchanged_pairs);
+  });
+  std::vector<std::vector<Atom>> class_atoms(plan.classes.size());
+  parallel_region(W, [&](std::size_t w) {
+    for (std::size_t c = w; c < plan.classes.size(); c += W) {
+      const EquivalenceClass& eq_class = plan.classes[c];
+      if (eq_class.size() < 2) continue;  // no candidates (§4.1)
+      std::vector<Atom> atoms;
+      atoms.reserve(eq_class.size());
+      for (Item member : eq_class.members) {
+        const PairKey key = make_pair_key(eq_class.prefix, member);
+        TidList tids;
+        for (std::size_t b = 0; b < W; ++b) {
+          const auto it = block_lists[b].find(key);
+          if (it == block_lists[b].end()) continue;
+          tids.insert(tids.end(), it->second.begin(), it->second.end());
+        }
+        atoms.push_back(Atom{{eq_class.prefix, member}, std::move(tids)});
+      }
+      class_atoms[c] = std::move(atoms);
+    }
+  });
+  const double t_transform = wall.elapsed_seconds();
+
+  // ----- Phase 3: asynchronous. Each class is mined exactly once, by
+  // whichever worker acquires it, into its own result slot; per-worker
+  // arenas keep mining allocation-free and deterministic per class. The
+  // level histogram is recomputed from the final result (finalize_result),
+  // so the per-worker one is scratch. -----
+  std::vector<std::vector<FrequentItemset>> slots(plan.classes.size());
+  const auto mine_class = [&](std::size_t c, TidArena& arena,
+                              std::vector<std::size_t>& histogram) {
+    if (class_atoms[c].empty()) return;
+    compute_frequent(class_atoms[c], config.minsup, config.kernel, arena,
+                     slots[c], histogram);
+  };
+
+  if (scheduler_ == ClassScheduler::kStatic || plan.classes.empty()) {
+    parallel_region(W, [&](std::size_t w) {
+      TidArena arena;
+      std::vector<std::size_t> histogram;
+      for (std::size_t c = 0; c < plan.classes.size(); ++c) {
+        if (plan.assignment[c] == w) mine_class(c, arena, histogram);
+      }
+    });
+  } else {
+    // Work-stealing: deques seeded with the static assignment in
+    // ascending-weight order, so the owner's LIFO pop yields its heaviest
+    // class first (LPT-style) and a thief's FIFO steal takes the heaviest
+    // class still queued on the victim.
+    const auto load_of = [&](std::size_t c) {
+      return static_cast<std::int64_t>(plan.classes[c].weight()) + 1;
+    };
+    std::vector<std::vector<std::size_t>> owned(W);
+    for (std::size_t c = 0; c < plan.classes.size(); ++c) {
+      owned[plan.assignment[c]].push_back(c);
+    }
+    // std::deque, not vector: StealDeque is pinned (atomics are neither
+    // movable nor copyable) and deque never relocates elements.
+    std::deque<StealDeque> deques;
+    std::vector<std::atomic<std::int64_t>> loads(W);
+    for (std::size_t w = 0; w < W; ++w) {
+      std::stable_sort(owned[w].begin(), owned[w].end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return plan.classes[a].weight() <
+                                plan.classes[b].weight();
+                       });
+      deques.emplace_back(owned[w].empty() ? 1 : owned[w].size());
+      std::int64_t total = 0;
+      for (std::size_t c : owned[w]) {
+        deques[w].push(c);
+        total += load_of(c);
+      }
+      loads[w].store(total, std::memory_order_relaxed);
+    }
+    std::atomic<std::size_t> tasks_left{plan.classes.size()};
+
+    parallel_region(W, [&](std::size_t w) {
+      TidArena arena;
+      std::vector<std::size_t> histogram;
+      const auto acquired = [&](std::size_t c, std::size_t victim) {
+        loads[victim].fetch_sub(load_of(c), std::memory_order_relaxed);
+        tasks_left.fetch_sub(1, std::memory_order_relaxed);
+        mine_class(c, arena, histogram);
+      };
+      while (true) {
+        if (const std::optional<std::size_t> c = deques[w].pop()) {
+          acquired(*c, w);
+          continue;
+        }
+        if (tasks_left.load(std::memory_order_relaxed) == 0) break;
+        // Steal from the victim with the most remaining weight. The load
+        // counters are advisory (decremented at acquisition), so a miss
+        // just means another spin — correctness only needs tasks_left.
+        std::size_t victim = W;
+        std::int64_t best = 0;
+        for (std::size_t v = 0; v < W; ++v) {
+          if (v == w) continue;
+          const std::int64_t load = loads[v].load(std::memory_order_relaxed);
+          if (load > best) {
+            best = load;
+            victim = v;
+          }
+        }
+        if (victim == W) {
+          std::this_thread::yield();
+          continue;
+        }
+        if (const std::optional<std::size_t> c = deques[victim].steal()) {
+          acquired(*c, victim);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  const double t_async = wall.elapsed_seconds();
+
+  // ----- Phase 4: final reduction in commit order — singletons, pairs,
+  // then the class slots by ascending class id, then normalize. This is
+  // what makes the output independent of scheduling and interleaving. -----
+  par::ParallelOutput output;
+  output.result.database_scans = 3;  // two horizontal scans + vertical read
+  if (config.include_singletons) {
+    par::append_singletons(output.result, item_counts, config.minsup);
+  }
+  par::append_frequent_pairs(output.result, plan.frequent_pairs, counter);
+  for (std::vector<FrequentItemset>& slot : slots) {
+    for (FrequentItemset& found : slot) {
+      output.result.itemsets.push_back(std::move(found));
+    }
+  }
+  par::finalize_result(output.result);
+
+  const double total = wall.elapsed_seconds();
+  output.run_report.outcomes.assign(W, mc::ProcessorOutcome::kFinished);
+  output.total_seconds = total;
+  output.wall_seconds = total;
+  output.phase_seconds["initialization"] = t_init;
+  output.phase_seconds["transformation"] = t_transform - t_init;
+  output.phase_seconds["asynchronous"] = t_async - t_transform;
+  output.phase_seconds["reduction"] = total - t_async;
+  output.backend = "threads";
+  output.exec_threads = W;
+  return output;
+}
+
+}  // namespace eclat::exec

@@ -1,0 +1,56 @@
+// Native shared-memory execution of the Par-Eclat pipeline: the same
+// four phases as the simulator path (parallel/pipeline.hpp), placed on a
+// real thread pool instead of simulated processors.
+//
+//   1. Initialization — each worker counts items and pairs over its block
+//      of the same T-way partition the simulator uses
+//      (par::local_partition), then the partial counters are sum-merged.
+//   2. Transformation — every worker derives the identical MiningPlan
+//      from the merged counts (pure function); each worker inverts its
+//      block into partial tid-lists; per-class global tid-lists are the
+//      partials concatenated in block order, which keeps them globally
+//      sorted (paper §6.3) — built in parallel, classes striped over
+//      workers.
+//   3. Asynchronous — each class is mined exactly once with
+//      compute_frequent over a per-worker TidArena. Placement is either
+//      the paper's static greedy schedule, or work-stealing: deques are
+//      seeded with the static assignment in ascending-weight order, the
+//      owner pops LIFO (heaviest first, hottest lists), idle workers
+//      steal FIFO from the victim with the most remaining weight.
+//   4. Final reduction — results are committed into per-class slots and
+//      assembled on the main thread in ascending class id, then
+//      normalized; output is therefore byte-identical to the sequential
+//      reference and to the mc backend regardless of worker count,
+//      scheduler, or interleaving (DESIGN.md §9).
+//
+// The fault/lease machinery of the simulator does not apply here: a
+// ParEclatConfig's lease and retransmit knobs are ignored (threads do
+// not crash by plan), and the run report is all-kFinished.
+#pragma once
+
+#include "exec/backend.hpp"
+
+namespace eclat::exec {
+
+class ThreadBackend final : public Backend {
+ public:
+  explicit ThreadBackend(const ThreadBackendOptions& options)
+      : threads_(resolve_threads(options.threads)),
+        scheduler_(options.scheduler) {}
+
+  std::string_view name() const override { return "threads"; }
+  /// Resolved worker count (--exec-threads=0 -> hardware concurrency).
+  std::size_t workers() const override { return threads_; }
+  ClassScheduler scheduler() const { return scheduler_; }
+
+  /// total_seconds and wall_seconds are both host wall-clock here;
+  /// phase_seconds carries the usual four phase labels.
+  par::ParallelOutput mine(const HorizontalDatabase& db,
+                           const par::ParEclatConfig& config) override;
+
+ private:
+  std::size_t threads_;
+  ClassScheduler scheduler_;
+};
+
+}  // namespace eclat::exec

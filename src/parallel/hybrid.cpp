@@ -26,25 +26,6 @@ std::span<const Transaction> slot_slice(std::span<const Transaction> host_span,
   return host_span.subspan(begin, length);
 }
 
-std::vector<std::size_t> make_schedule(
-    std::span<const EquivalenceClass> classes, std::size_t bins,
-    ScheduleHeuristic heuristic, const TriangleCounter& counter) {
-  switch (heuristic) {
-    case ScheduleHeuristic::kRoundRobin:
-      return schedule_round_robin(classes, bins);
-    case ScheduleHeuristic::kGreedySupport: {
-      std::vector<std::size_t> weights(classes.size());
-      for (std::size_t c = 0; c < classes.size(); ++c) {
-        weights[c] = support_weight(classes[c], counter);
-      }
-      return schedule_greedy_by_weight(weights, bins);
-    }
-    case ScheduleHeuristic::kGreedyWeight:
-    default:
-      return schedule_greedy(classes, bins);
-  }
-}
-
 }  // namespace
 
 ParallelOutput hybrid_eclat(mc::Cluster& cluster,
@@ -102,31 +83,15 @@ ParallelOutput hybrid_eclat(mc::Cluster& cluster,
     self.sum_reduce(counter.raw(), mc::Processor::ReduceScheme::kTree);
     init_end[me] = self.now();
 
-    // ----- Phase 2: transformation. Classes are scheduled to hosts;
-    // tid-lists flow to the owning host's leader. -----
-    struct Plan {
-      std::vector<PairKey> frequent_pairs;
-      std::vector<EquivalenceClass> classes;
-      std::vector<std::size_t> host_of_class;
-      std::vector<PairKey> exchanged_pairs;
-      std::unordered_map<PairKey, std::size_t> leader_of_pair;
-    };
-    Plan plan = self.compute([&] {
-      Plan p;
-      p.frequent_pairs = counter.frequent_pairs(config.minsup);
-      p.classes = partition_into_classes(p.frequent_pairs);
-      p.host_of_class =
-          make_schedule(p.classes, hosts, config.schedule, counter);
-      for (std::size_t c = 0; c < p.classes.size(); ++c) {
-        if (p.classes[c].size() < 2) continue;
-        const std::size_t owner_leader = p.host_of_class[c] * slots;
-        for (PairKey key : p.classes[c].pair_keys()) {
-          p.leader_of_pair.emplace(key, owner_leader);
-          p.exchanged_pairs.push_back(key);
-        }
-      }
-      return p;
+    // ----- Phase 2: transformation. Classes are scheduled to hosts
+    // (plan.assignment maps class -> host; the owning leader is slot 0 of
+    // that host); tid-lists flow to the owning host's leader. -----
+    MiningPlan plan = self.compute([&] {
+      return derive_plan(counter, config.minsup, hosts, config.schedule);
     });
+    const auto leader_of_pair = [&](PairKey key) {
+      return plan.assignment[plan.class_of.at(key)] * slots;
+    };
 
     // Second scan of the host partition (leader only); every processor
     // inverts its slice of the shared image.
@@ -139,7 +104,7 @@ ParallelOutput hybrid_eclat(mc::Cluster& cluster,
     self.compute([&] {
       std::vector<wire::Writer> writers(total);
       for (PairKey key : plan.exchanged_pairs) {
-        const std::size_t owner = plan.leader_of_pair.at(key);
+        const std::size_t owner = leader_of_pair(key);
         writers[owner].put(key);
         writers[owner].put_vector(partial.at(key));
       }
@@ -185,7 +150,7 @@ ParallelOutput hybrid_eclat(mc::Cluster& cluster,
       std::vector<EquivalenceClass> host_classes;
       std::vector<std::size_t> host_class_ids;
       for (std::size_t c = 0; c < plan.classes.size(); ++c) {
-        if (plan.classes[c].size() < 2 || plan.host_of_class[c] != host) {
+        if (plan.classes[c].size() < 2 || plan.assignment[c] != host) {
           continue;
         }
         host_classes.push_back(plan.classes[c]);
@@ -238,18 +203,9 @@ ParallelOutput hybrid_eclat(mc::Cluster& cluster,
       MiningResult result;
       result.database_scans = 3;
       if (config.include_singletons) {
-        for (Item item = 0; item < db.num_items(); ++item) {
-          if (item_counts[item] >= config.minsup) {
-            result.itemsets.push_back(
-                FrequentItemset{{item}, item_counts[item]});
-          }
-        }
+        append_singletons(result, item_counts, config.minsup);
       }
-      for (PairKey key : plan.frequent_pairs) {
-        result.itemsets.push_back(FrequentItemset{
-            {pair_first(key), pair_second(key)},
-            counter.get(pair_first(key), pair_second(key))});
-      }
+      append_frequent_pairs(result, plan.frequent_pairs, counter);
       for (const mc::Blob& blob : gathered) {
         wire::Reader reader(blob);
         const auto count = reader.get<std::uint64_t>();
@@ -260,10 +216,7 @@ ParallelOutput hybrid_eclat(mc::Cluster& cluster,
           result.itemsets.push_back(std::move(f));
         }
       }
-      normalize(result);
-      for (std::size_t k = 1; k <= result.max_size(); ++k) {
-        result.levels.push_back(LevelStats{k, 0, result.count_of_size(k)});
-      }
+      finalize_result(result);
       // eclat-lint: allow(det-thread) single-writer publish of the run's result
       std::lock_guard lock(output_mutex);
       output.result = std::move(result);

@@ -20,25 +20,6 @@ namespace eclat::par {
 
 namespace {
 
-std::vector<std::size_t> make_schedule(
-    std::span<const EquivalenceClass> classes, std::size_t total,
-    ScheduleHeuristic heuristic, const TriangleCounter& counter) {
-  switch (heuristic) {
-    case ScheduleHeuristic::kRoundRobin:
-      return schedule_round_robin(classes, total);
-    case ScheduleHeuristic::kGreedySupport: {
-      std::vector<std::size_t> weights(classes.size());
-      for (std::size_t c = 0; c < classes.size(); ++c) {
-        weights[c] = support_weight(classes[c], counter);
-      }
-      return schedule_greedy_by_weight(weights, total);
-    }
-    case ScheduleHeuristic::kGreedyWeight:
-    default:
-      return schedule_greedy(classes, total);
-  }
-}
-
 std::vector<std::size_t> survivors_of(const std::vector<bool>& failed) {
   std::vector<std::size_t> alive;
   for (std::size_t p = 0; p < failed.size(); ++p) {
@@ -250,29 +231,10 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
     // schedule is always computed over all T processors — including ones
     // that already failed — so class ids, weights and the fault-free
     // ownership are identical in every run; failures only relocate work.
-    struct Plan {
-      std::vector<PairKey> frequent_pairs;
-      std::vector<EquivalenceClass> classes;
-      std::vector<std::size_t> assignment;
-      std::vector<PairKey> exchanged_pairs;  // pairs in classes of size >= 2
-      std::unordered_map<PairKey, std::size_t> class_of;
-    };
-    Plan plan = self.compute([&] {
-      Plan p;
-      p.frequent_pairs = counter.frequent_pairs(config.minsup);
-      p.classes = partition_into_classes(p.frequent_pairs);
-      p.assignment =
-          make_schedule(p.classes, total, config.schedule, counter);
-      for (std::size_t c = 0; c < p.classes.size(); ++c) {
-        // Singleton classes generate no candidates (§4.1) — their
-        // 2-itemsets are already globally counted, so no tid-lists move.
-        if (p.classes[c].size() < 2) continue;
-        for (PairKey key : p.classes[c].pair_keys()) {
-          p.class_of.emplace(key, c);
-          p.exchanged_pairs.push_back(key);
-        }
-      }
-      return p;
+    // derive_plan is the backend-shared stage (parallel/pipeline.hpp): the
+    // thread backend derives the identical plan from the identical counts.
+    MiningPlan plan = self.compute([&] {
+      return derive_plan(counter, config.minsup, total, config.schedule);
     });
 
     // Second local scan: partial tid-lists for every exchanged 2-itemset.
@@ -508,13 +470,7 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
       }
       std::vector<FrequentItemset> class_found;
       self.compute([&] {
-        std::vector<Atom> atoms;
-        atoms.reserve(eq_class.size());
-        for (Item member : eq_class.members) {
-          const PairKey key = make_pair_key(eq_class.prefix, member);
-          atoms.push_back(Atom{{eq_class.prefix, member},
-                               std::move(my_lists.at(key))});
-        }
+        const std::vector<Atom> atoms = take_class_atoms(eq_class, my_lists);
         compute_frequent(atoms, config.minsup, config.kernel, arena,
                          class_found, histogram);
       });
@@ -703,18 +659,9 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
       MiningResult result;
       result.database_scans = 3;  // two horizontal scans + vertical read
       if (config.include_singletons) {
-        for (Item item = 0; item < db.num_items(); ++item) {
-          if (item_counts[item] >= config.minsup) {
-            result.itemsets.push_back(
-                FrequentItemset{{item}, item_counts[item]});
-          }
-        }
+        append_singletons(result, item_counts, config.minsup);
       }
-      for (PairKey key : plan.frequent_pairs) {
-        result.itemsets.push_back(FrequentItemset{
-            {pair_first(key), pair_second(key)},
-            counter.get(pair_first(key), pair_second(key))});
-      }
+      append_frequent_pairs(result, plan.frequent_pairs, counter);
       // Re-mined classes from the recovery gathers, keyed by class id.
       std::unordered_map<std::size_t, std::vector<FrequentItemset>>
           recovered_classes;
@@ -767,10 +714,7 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
           result.itemsets.push_back(std::move(f));
         }
       }
-      normalize(result);
-      for (std::size_t k = 1; k <= result.max_size(); ++k) {
-        result.levels.push_back(LevelStats{k, 0, result.count_of_size(k)});
-      }
+      finalize_result(result);
       // eclat-lint: allow(det-thread) single-writer publish of the run's result
       std::lock_guard lock(output_mutex);
       output.result = std::move(result);

@@ -48,16 +48,9 @@
 #include "eclat/compute_frequent.hpp"
 #include "eclat/equivalence.hpp"
 #include "parallel/parallel_common.hpp"
+#include "parallel/pipeline.hpp"
 
 namespace eclat::par {
-
-/// Class-scheduling heuristic (§5.2.1; round-robin is the ablation
-/// baseline).
-enum class ScheduleHeuristic : std::uint8_t {
-  kGreedyWeight,    ///< greedy over C(s,2) weights (the paper's default)
-  kGreedySupport,   ///< greedy over support-aware weights (§5.2.1 idea)
-  kRoundRobin,      ///< naive baseline for the scheduling ablation
-};
 
 struct ParEclatConfig {
   Count minsup = 1;

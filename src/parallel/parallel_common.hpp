@@ -20,11 +20,28 @@ struct ParallelOutput {
   /// at least one processor survives).
   mc::RunReport run_report;
 
-  double total_seconds = 0.0;  ///< makespan (max final virtual clock)
+  /// Makespan of the run in the backend's native clock: max final
+  /// *virtual* clock under the mc simulator, host *wall* seconds under
+  /// the native thread backend.
+  double total_seconds = 0.0;
   /// Named phase durations; for Eclat: "initialization", "transformation",
   /// "asynchronous", "reduction". "setup" = initialization+transformation
   /// (the break-up column of the paper's Table 2).
   std::map<std::string, double> phase_seconds;
+
+  /// Which execution backend produced this run ("mc" = deterministic
+  /// virtual-time simulator, "threads" = native shared-memory pool); the
+  /// benchmarks label every published number with it.
+  std::string backend = "mc";
+  /// Resolved worker count of the execution backend (the thread backend
+  /// resolves --exec-threads=0 to hardware concurrency and echoes the
+  /// result here; the mc backend reports the topology's T).
+  std::size_t exec_threads = 0;
+  /// Host wall-clock seconds of the run, when the caller measured it
+  /// (filled by the exec backends; 0 when only virtual time is known).
+  /// Unlike total_seconds this is machine-dependent and never feeds
+  /// virtual time.
+  double wall_seconds = 0.0;
 
   std::uint64_t mc_bytes = 0;     ///< Memory Channel traffic of the run
   std::uint64_t mc_messages = 0;

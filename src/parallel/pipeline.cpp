@@ -1,0 +1,86 @@
+#include "parallel/pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace eclat::par {
+
+std::vector<std::size_t> make_schedule(
+    std::span<const EquivalenceClass> classes, std::size_t bins,
+    ScheduleHeuristic heuristic, const TriangleCounter& counter) {
+  switch (heuristic) {
+    case ScheduleHeuristic::kRoundRobin:
+      return schedule_round_robin(classes, bins);
+    case ScheduleHeuristic::kGreedySupport: {
+      std::vector<std::size_t> weights(classes.size());
+      for (std::size_t c = 0; c < classes.size(); ++c) {
+        weights[c] = support_weight(classes[c], counter);
+      }
+      return schedule_greedy_by_weight(weights, bins);
+    }
+    case ScheduleHeuristic::kGreedyWeight:
+    default:
+      return schedule_greedy(classes, bins);
+  }
+}
+
+MiningPlan derive_plan(const TriangleCounter& counter, Count minsup,
+                       std::size_t bins, ScheduleHeuristic heuristic) {
+  MiningPlan plan;
+  plan.frequent_pairs = counter.frequent_pairs(minsup);
+  plan.classes = partition_into_classes(plan.frequent_pairs);
+  plan.assignment = make_schedule(plan.classes, bins, heuristic, counter);
+  for (std::size_t c = 0; c < plan.classes.size(); ++c) {
+    // Singleton classes generate no candidates (§4.1) — their 2-itemsets
+    // are already globally counted, so no tid-lists move.
+    if (plan.classes[c].size() < 2) continue;
+    for (PairKey key : plan.classes[c].pair_keys()) {
+      plan.class_of.emplace(key, c);
+      plan.exchanged_pairs.push_back(key);
+    }
+  }
+  return plan;
+}
+
+std::vector<Atom> take_class_atoms(
+    const EquivalenceClass& eq_class,
+    std::unordered_map<PairKey, TidList>& lists) {
+  std::vector<Atom> atoms;
+  atoms.reserve(eq_class.size());
+  for (Item member : eq_class.members) {
+    const PairKey key = make_pair_key(eq_class.prefix, member);
+    atoms.push_back(
+        Atom{{eq_class.prefix, member}, std::move(lists.at(key))});
+  }
+  return atoms;
+}
+
+void append_singletons(MiningResult& result,
+                       std::span<const Count> item_counts, Count minsup) {
+  for (std::size_t item = 0; item < item_counts.size(); ++item) {
+    if (item_counts[item] >= minsup) {
+      result.itemsets.push_back(
+          FrequentItemset{{static_cast<Item>(item)}, item_counts[item]});
+    }
+  }
+}
+
+void append_frequent_pairs(MiningResult& result,
+                           std::span<const PairKey> frequent_pairs,
+                           const TriangleCounter& counter) {
+  for (PairKey key : frequent_pairs) {
+    result.itemsets.push_back(FrequentItemset{
+        {pair_first(key), pair_second(key)},
+        counter.get(pair_first(key), pair_second(key))});
+  }
+}
+
+void finalize_result(MiningResult& result) {
+  normalize(result);
+  for (std::size_t k = 1; k <= result.max_size(); ++k) {
+    result.levels.push_back(LevelStats{k, 0, result.count_of_size(k)});
+  }
+}
+
+}  // namespace eclat::par

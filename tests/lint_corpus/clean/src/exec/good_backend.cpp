@@ -1,0 +1,12 @@
+// Corpus: the execution-backend module is the one src/ layer where real
+// threading primitives are legal without suppression — spawning workers
+// and atomics for the work-stealing deque are its whole job.
+#include <atomic>
+#include <thread>
+
+std::atomic<int> tasks_left{0};
+
+void spawn_join() {
+  std::thread worker([] { tasks_left.fetch_sub(1); });
+  worker.join();
+}

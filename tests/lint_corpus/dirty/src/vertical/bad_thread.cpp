@@ -1,0 +1,9 @@
+// Corpus: raw threading outside the deterministic layers AND outside
+// src/exec — det-thread is banned tree-wide except in the execution
+// backends, with a hint pointing at the Backend seam.
+#include <thread>
+
+void sneak_parallelism() {
+  std::thread worker([] {});
+  worker.join();
+}

@@ -8,9 +8,11 @@
 // Rules:
 //   det-wallclock       wall/CPU clock reads inside src/mc, src/parallel
 //   det-random          unseeded randomness inside src/mc, src/parallel
-//   det-thread          std:: threading primitives inside src/mc,
-//                       src/parallel (concurrency belongs to the mc
-//                       substrate, behind virtual-time collectives)
+//   det-thread          std:: threading primitives anywhere in src/
+//                       except src/exec — the execution backends are the
+//                       one module where real threads are the point; the
+//                       deterministic layers go through the mc
+//                       substrate's virtual-time collectives instead
 //   det-ptr-key         pointer-keyed std:: containers inside src/mc,
 //                       src/parallel (iteration order = allocator behavior)
 //   det-unordered-iter  range-for / .begin() over std::unordered_{map,set}
@@ -167,6 +169,12 @@ void analyze_determinism(const SourceFile& file, bool emission_path,
                          std::vector<Finding>& findings) {
   const bool deterministic_layer =
       file.module == "mc" || file.module == "parallel";
+  // Real threading primitives are legal only in src/exec (the execution
+  // backends); everywhere else in src/ they are banned — the deterministic
+  // layers because they must be pure functions of (plan, seed), the rest
+  // because concurrency belongs behind the Backend seam.
+  const bool thread_ban_layer =
+      !file.module.empty() && file.module != "exec";
   const std::vector<Token>& toks = file.tokens;
 
   // Identifier names declared with an unordered container type in this
@@ -181,10 +189,15 @@ void analyze_determinism(const SourceFile& file, bool emission_path,
     const Token& t = toks[i];
     if (t.kind != TokKind::kIdentifier) continue;
 
-    // --- symbol bans (mc / parallel only) ---
-    if (deterministic_layer) {
+    // --- symbol bans (det-thread: all src/ modules but exec; the other
+    // rules: mc / parallel only) ---
+    if (deterministic_layer || thread_ban_layer) {
       for (const Ban& ban : kBans) {
         if (t.text != ban.ident) continue;
+        const bool is_thread_ban = std::string(ban.id) == "det-thread";
+        if (is_thread_ban ? !thread_ban_layer : !deterministic_layer) {
+          continue;
+        }
         if (ban.require_std && !preceded_by_std(toks, i)) continue;
         // `std::chrono::system_clock` is chrono-qualified, not foreign.
         if (!ban.require_std && is_member_or_foreign_qualified(toks, i) &&
@@ -202,10 +215,14 @@ void analyze_determinism(const SourceFile& file, bool emission_path,
         } else if (std::string(ban.id) == "det-random") {
           hint = "use eclat::Rng forked from the plan seed "
                  "(common/rng.hpp)";
-        } else {
+        } else if (deterministic_layer) {
           hint = "express concurrency through the mc substrate "
                  "(collectives, lease board) or suppress with the "
                  "substrate justification";
+        } else {
+          hint = "real threading primitives live in src/exec (the "
+                 "execution backends); route concurrency through a "
+                 "Backend instead of spawning threads in this layer";
         }
         add(findings, file, t.line, ban.id,
             std::string(ban.what) + ": " +

@@ -44,10 +44,18 @@ const std::map<std::string, std::set<std::string>>& layer_dag() {
       // Parallel algorithms: everything sequential plus the mc substrate.
       {"parallel",
        {"common", "data", "vertical", "apriori", "eclat", "hashtree", "mc"}},
+      // Execution backends: places the backend-independent pipeline
+      // (parallel/pipeline.hpp) on a substrate — the mc simulator or the
+      // native thread pool. The only src module where real threading
+      // primitives are legal (see determinism.cpp).
+      {"exec",
+       {"common", "data", "vertical", "apriori", "eclat", "hashtree", "mc",
+        "parallel"}},
       // Public API: the only module allowed to see the whole tree.
       {"api",
        {"common", "data", "vertical", "apriori", "eclat", "hashtree", "mc",
-        "parallel", "partition", "rules", "sampling", "clique", "gen"}},
+        "parallel", "exec", "partition", "rules", "sampling", "clique",
+        "gen"}},
   };
   return dag;
 }
