@@ -62,6 +62,7 @@ par::ParallelOutput mine_with_stats(const HorizontalDatabase& db,
     case Algorithm::kParEclat: {
       par::ParEclatConfig config;
       config.minsup = minsup;
+      config.replication = options.replication;
       const exec::ThreadBackendOptions thread_options{options.exec_threads,
                                                       options.exec_scheduler};
       const std::unique_ptr<exec::Backend> backend = exec::make_backend(

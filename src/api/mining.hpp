@@ -47,6 +47,10 @@ struct MineOptions {
   std::size_t exec_threads = 0;
   /// Class scheduler for the threads backend.
   exec::ClassScheduler exec_scheduler = exec::ClassScheduler::kWorkStealing;
+  /// Replication factor for the recovery store's class tid-list images
+  /// under kParEclat on the mc backend (0 = full replication). Bounds the
+  /// replicated footprint; lost images fall back to lineage recomputation.
+  std::size_t replication = 0;
 };
 
 /// Mine all frequent itemsets of `db`.

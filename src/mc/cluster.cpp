@@ -36,6 +36,8 @@ const char* to_string(ProcessorOutcome outcome) {
       return "crashed";
     case ProcessorOutcome::kHung:
       return "hung";
+    case ProcessorOutcome::kPartitioned:
+      return "partitioned";
     case ProcessorOutcome::kAborted:
       return "aborted";
   }
@@ -114,6 +116,21 @@ RunReport Cluster::run(const std::function<void(Processor&)>& body) {
         if (trace_) {
           trace_->record(p, clocks_[p], TraceKind::kFault,
                          std::string("hang: ") + hang.what());
+        }
+        reduce_slots_[p] = {};
+        gather_slots_[p].clear();
+        a2a_out_[p].clear();
+        lease_board_.mark_terminal(p, clocks_[p]);
+        barrier_.deregister(p);
+      } catch (const ProcessorPartitioned& cut) {
+        // Cut off from quorum: the processor aborts its phase cleanly —
+        // nothing it had queued for a quorum acknowledgement commits.
+        // Deregistering releases the quorum side's pending rendezvous, so
+        // the majority completes with survivor-only semantics.
+        report_.outcomes[p] = ProcessorOutcome::kPartitioned;
+        if (trace_) {
+          trace_->record(p, clocks_[p], TraceKind::kFault,
+                         std::string("partition: ") + cut.what());
         }
         reduce_slots_[p] = {};
         gather_slots_[p].clear();
@@ -280,6 +297,22 @@ std::vector<std::size_t> Processor::failed_processors() const {
   return ids;
 }
 
+std::size_t Processor::commit_epoch() const {
+  // The epoch is the failed count of this processor's snapshot: monotone,
+  // and it grows exactly at the folds where the failed set grows — the
+  // same read-stability argument as failed_snapshot() applies.
+  std::size_t epoch = 0;
+  for (const bool failed : cluster_->epoch_failed_) {
+    if (failed) ++epoch;
+  }
+  return epoch;
+}
+
+bool Processor::quorum_member() const {
+  const FaultInjector* injector = cluster_->injector_.get();
+  return !injector || !injector->partition_minority(id_, now());
+}
+
 Blob Processor::retransmit(std::size_t src) {
   auto& store = cluster_->retransmit_store_[id_];
   const auto it = store.find(src);
@@ -340,6 +373,18 @@ void Processor::disk_write(std::size_t bytes, std::size_t scanners) {
   const double stall = fault_probe(FaultOp::kDiskWrite);
   if (scanners == 0) scanners = topology().procs_per_host;
   advance(cost().disk_time(bytes, scanners) * stall);  // same model as read
+  if (Trace* trace = cluster_->trace_) {
+    trace->record(id_, now(), TraceKind::kDisk, "write", bytes);
+    if (stall > 1.0) {
+      trace->record(id_, now(), TraceKind::kFault, "disk-stall", bytes);
+    }
+  }
+}
+
+void Processor::disk_write_stream(std::size_t bytes, std::size_t scanners) {
+  const double stall = fault_probe(FaultOp::kDiskWrite);
+  if (scanners == 0) scanners = topology().procs_per_host;
+  advance(cost().disk_stream_time(bytes, scanners) * stall);
   if (Trace* trace = cluster_->trace_) {
     trace->record(id_, now(), TraceKind::kDisk, "write", bytes);
     if (stall > 1.0) {

@@ -59,10 +59,11 @@ class Cluster;
 
 /// How one simulated processor ended a run.
 enum class ProcessorOutcome : std::uint8_t {
-  kFinished,  ///< body returned normally
-  kCrashed,   ///< an injected ProcessorFailed fault fired
-  kHung,      ///< an injected unbounded ProcessorHung fault fired
-  kAborted,   ///< the body threw any other exception
+  kFinished,     ///< body returned normally
+  kCrashed,      ///< an injected ProcessorFailed fault fired
+  kHung,         ///< an injected unbounded ProcessorHung fault fired
+  kPartitioned,  ///< cut off from quorum by an injected partition window
+  kAborted,      ///< the body threw any other exception
 };
 
 const char* to_string(ProcessorOutcome outcome);
@@ -85,6 +86,22 @@ struct RunReport {
     std::size_t n = 0;
     for (const ProcessorOutcome o : outcomes) {
       if (o == ProcessorOutcome::kCrashed) ++n;
+    }
+    return n;
+  }
+
+  std::size_t partitioned() const {
+    std::size_t n = 0;
+    for (const ProcessorOutcome o : outcomes) {
+      if (o == ProcessorOutcome::kPartitioned) ++n;
+    }
+    return n;
+  }
+
+  std::size_t finished() const {
+    std::size_t n = 0;
+    for (const ProcessorOutcome o : outcomes) {
+      if (o == ProcessorOutcome::kFinished) ++n;
     }
     return n;
   }
@@ -148,6 +165,12 @@ class Processor {
   /// through disk_read.
   void disk_read_stream(std::size_t bytes, std::size_t scanners = 0);
 
+  /// Seek-free counterpart of disk_write, for appending runs of records
+  /// to a log the head is already parked at (e.g. streaming several
+  /// replica images in one re-replication batch). The first write of a
+  /// batch must go through disk_write.
+  void disk_write_stream(std::size_t bytes, std::size_t scanners = 0);
+
   // --- Collectives. Every *surviving* processor of the cluster must call
   // the same sequence of collectives (standard SPMD discipline); failed
   // processors are excluded from the fold and their result slots stay
@@ -205,6 +228,22 @@ class Processor {
 
   /// Ids set in failed_snapshot().
   std::vector<std::size_t> failed_processors() const;
+
+  /// Commit epoch as of this processor's most recent collective: the
+  /// number of processors in its epoch snapshot that had failed. The
+  /// counter is monotone and advances exactly when the failed set grows,
+  /// so it fences first-writer-wins stores: a survivor that observed a
+  /// newer epoch raises the store's fence, and writes stamped with an
+  /// older epoch — a healed minority replaying pre-partition state — are
+  /// rejected instead of committed.
+  std::size_t commit_epoch() const;
+
+  /// False while an active partition window leaves this processor on a
+  /// side without quorum (at its current clock). Commits that require a
+  /// quorum acknowledgement must be queued locally until this turns true
+  /// again (the window healed) — or dropped with the processor when its
+  /// next collective aborts it.
+  bool quorum_member() const;
 
   /// Named injection site for algorithm-level fault points (e.g. "after
   /// this equivalence class was checkpointed"). No-op without a fault

@@ -13,6 +13,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kCorruptMessage: return "corrupt-message";
     case FaultKind::kCorruptRegion: return "corrupt-region";
     case FaultKind::kHubDegrade: return "hub-degrade";
+    case FaultKind::kPartition: return "partition";
   }
   return "?";
 }
@@ -145,6 +146,99 @@ FaultEvent FaultPlan::hub_degrade(double divisor, double from,
   return event;
 }
 
+FaultEvent FaultPlan::partition(std::vector<std::size_t> members, double from,
+                                double duration) {
+  FaultEvent event;
+  event.kind = FaultKind::kPartition;
+  event.members = std::move(members);
+  event.at_time = from;
+  event.duration = duration;
+  return event;
+}
+
+namespace {
+
+/// The trigger identity of a count-triggered event: two events of one
+/// kind with identical site filters and the same after_calls would fire
+/// on the exact same probe — an ambiguous schedule validate_plan rejects.
+std::string trigger_signature(const FaultEvent& event) {
+  return std::to_string(static_cast<int>(event.kind)) + "|" +
+         std::to_string(event.processor) + "|" + std::to_string(event.peer) +
+         "|" + std::to_string(static_cast<int>(event.op)) + "|" +
+         event.phase + "|" + event.label + "|" +
+         std::to_string(event.after_calls);
+}
+
+}  // namespace
+
+void validate_plan(const FaultPlan& plan, std::size_t total_processors) {
+  std::vector<std::string> seen_triggers;
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    const FaultEvent& event = plan.events[i];
+    const bool needs_owner = event.kind == FaultKind::kCrash ||
+                             event.kind == FaultKind::kDiskStall ||
+                             event.kind == FaultKind::kHang ||
+                             event.kind == FaultKind::kCorruptRegion;
+    if (needs_owner && event.processor >= total_processors) {
+      throw std::invalid_argument(
+          std::string(to_string(event.kind)) +
+          " fault events need an explicit target processor "
+          "(determinism requires single-owner trigger counters)");
+    }
+    if (event.kind == FaultKind::kPartition) {
+      if (!(event.at_time >= 0.0) || !(event.duration > 0.0)) {
+        throw std::invalid_argument(
+            "partition event " + std::to_string(i) +
+            " has an out-of-order window: needs at_time >= 0 and "
+            "duration > 0 so [from, from + duration) is non-empty "
+            "(partitions heal; crash the processors instead of cutting "
+            "them forever)");
+      }
+      if (event.members.empty() ||
+          event.members.size() >= total_processors) {
+        throw std::invalid_argument(
+            "partition event " + std::to_string(i) +
+            " must cut a non-empty proper subset of the " +
+            std::to_string(total_processors) +
+            " processors (both sides need at least one member)");
+      }
+      std::vector<bool> in_group(total_processors, false);
+      for (const std::size_t p : event.members) {
+        if (p >= total_processors) {
+          throw std::invalid_argument(
+              "partition event " + std::to_string(i) + " names processor " +
+              std::to_string(p) + ", but the cluster has only " +
+              std::to_string(total_processors) + " processors");
+        }
+        if (in_group[p]) {
+          throw std::invalid_argument(
+              "partition event " + std::to_string(i) +
+              " lists processor " + std::to_string(p) + " twice");
+        }
+        in_group[p] = true;
+      }
+      continue;  // partitions are window-triggered; no trigger counter
+    }
+    if (event.kind == FaultKind::kHubDegrade || event.at_time >= 0.0) {
+      continue;  // time/window triggers cannot collide on a counter
+    }
+    std::string signature = trigger_signature(event);
+    for (const std::string& prior : seen_triggers) {
+      if (prior == signature) {
+        throw std::invalid_argument(
+            "two " + std::string(to_string(event.kind)) +
+            " events share one single-owner trigger counter (processor " +
+            std::to_string(event.processor) + ", op " + to_string(event.op) +
+            ", phase '" + event.phase + "', label '" + event.label +
+            "', after_calls " + std::to_string(event.after_calls) +
+            "): both would fire on the same probe — distinguish their "
+            "sites or after_calls");
+      }
+    }
+    seen_triggers.push_back(std::move(signature));
+  }
+}
+
 ProcessorFailed::ProcessorFailed(std::size_t processor,
                                  const std::string& site)
     : std::runtime_error("processor " + std::to_string(processor) +
@@ -156,21 +250,19 @@ ProcessorHung::ProcessorHung(std::size_t processor, const std::string& site)
                          " hung at " + site),
       processor_(processor) {}
 
+ProcessorPartitioned::ProcessorPartitioned(std::size_t processor,
+                                           const std::string& site)
+    : std::runtime_error("processor " + std::to_string(processor) +
+                         " partitioned away from quorum at " + site),
+      processor_(processor) {}
+
 FaultInjector::FaultInjector(const FaultPlan& plan,
                              std::size_t total_processors)
-    : fold_rng_(plan.seed ^ 0xf01df01df01df01dULL) {
+    : total_processors_(total_processors),
+      fold_rng_(plan.seed ^ 0xf01df01df01df01dULL) {
+  validate_plan(plan, total_processors);
   events_.reserve(plan.events.size());
   for (const FaultEvent& event : plan.events) {
-    const bool needs_owner = event.kind == FaultKind::kCrash ||
-                             event.kind == FaultKind::kDiskStall ||
-                             event.kind == FaultKind::kHang ||
-                             event.kind == FaultKind::kCorruptRegion;
-    if (needs_owner && event.processor >= total_processors) {
-      throw std::invalid_argument(
-          std::string(to_string(event.kind)) +
-          " fault events need an explicit target processor "
-          "(determinism requires single-owner trigger counters)");
-    }
     events_.push_back(EventState{event, 0, false});
   }
   // One independent stream per processor: forked deterministically from
@@ -183,6 +275,12 @@ FaultInjector::FaultInjector(const FaultPlan& plan,
 }
 
 namespace {
+
+bool is_collective(FaultOp op) {
+  return op == FaultOp::kBarrier || op == FaultOp::kSumReduce ||
+         op == FaultOp::kBroadcast || op == FaultOp::kAllToAll ||
+         op == FaultOp::kAllGather;
+}
 
 bool site_matches(const FaultEvent& event, FaultOp op,
                   const std::string& phase, const std::string& label) {
@@ -204,6 +302,16 @@ bool site_matches(const FaultEvent& event, FaultOp op,
 ProbeResult FaultInjector::probe(std::size_t proc, FaultOp op,
                                  const std::string& phase,
                                  const std::string& label, double now) {
+  // A collective needs a majority rendezvous: a processor cut off from
+  // quorum by an active partition window aborts the phase right here.
+  // Read-only (several minority processors probe the same window
+  // concurrently), so no trigger state to race on.
+  if (is_collective(op) && partition_minority(proc, now)) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    throw ProcessorPartitioned(
+        proc, std::string(to_string(op)) +
+                  (phase.empty() ? "" : "/" + phase));
+  }
   ProbeResult result;
   for (EventState& state : events_) {
     const FaultEvent& event = state.event;
@@ -303,6 +411,28 @@ double FaultInjector::hub_divisor(double now) {
     }
   }
   return std::max(divisor, 1.0);
+}
+
+bool FaultInjector::partition_minority(std::size_t proc, double now) const {
+  for (const EventState& state : events_) {
+    const FaultEvent& event = state.event;
+    if (event.kind != FaultKind::kPartition) continue;
+    if (now < event.at_time || now >= event.at_time + event.duration) {
+      continue;  // window not active at this processor's clock
+    }
+    const bool in_group =
+        std::find(event.members.begin(), event.members.end(), proc) !=
+        event.members.end();
+    const std::size_t side_size = in_group
+                                      ? event.members.size()
+                                      : total_processors_ -
+                                            event.members.size();
+    // Quorum = strict majority of *all* processors (the static membership
+    // the run started with; crashed processors still count toward the
+    // denominator, exactly like a real quorum system's configured size).
+    if (side_size * 2 <= total_processors_) return true;
+  }
+  return false;
 }
 
 std::size_t FaultInjector::injected() const {

@@ -27,11 +27,27 @@
 //     write issued through Processor::region_write.
 //   - kHubDegrade: divides the hub's aggregate bandwidth by `severity`
 //     during a virtual-time window.
+//   - kPartition: a deterministic virtual-time window [at_time, at_time +
+//     duration) that splits the processors into two groups (`members` and
+//     its complement). A group holds quorum iff it contains a strict
+//     majority of *all* processors. While the window is active, a
+//     processor on a non-quorum side that attempts any collective
+//     operation (barrier, reduce, broadcast, all-to-all, all-gather)
+//     aborts with ProcessorPartitioned — it cannot reach enough peers to
+//     complete the rendezvous — while the quorum side completes with
+//     survivor-only semantics once the minority has deregistered. A
+//     processor whose own clock passes the window end before its next
+//     collective was never observably cut: the partition healed under it.
+//     When neither side holds quorum, every processor that communicates
+//     in-window aborts and the run ends as a deterministic clean abort.
 //
 // Every random draw (which bytes flip, truncation points) comes from
 // eclat::Rng streams forked from FaultPlan::seed, and every trigger
 // counter is advanced only by the thread that owns it — so a (plan, seed)
 // pair reproduces the exact same failure schedule on every run.
+// validate_plan() rejects malformed plans (ambiguous shared trigger
+// counters, out-of-order partition windows) with an actionable
+// std::invalid_argument at construction instead of a debug-only contract.
 #pragma once
 // eclat-lint: allow-file(det-thread) injector state spans processor threads; every trigger counter is advanced only by its owning thread, so replays are exact
 
@@ -54,6 +70,7 @@ enum class FaultKind : std::uint8_t {
   kCorruptMessage,
   kCorruptRegion,
   kHubDegrade,
+  kPartition,
 };
 
 /// Operation kinds a fault site can match. kPoint matches the explicit
@@ -112,7 +129,14 @@ struct FaultEvent {
 
   /// kHubDegrade: window length in virtual seconds (< 0 = forever).
   /// kHang: how long the processor stays silent (< 0 = it never resumes).
+  /// kPartition: window length; must be positive (partitions heal — an
+  /// everlasting cut is indistinguishable from crashing the minority).
   double duration = -1.0;
+
+  /// kPartition only: one side of the cut. The other side is the
+  /// complement. Must be a non-empty proper subset of the processors,
+  /// without duplicates (validate_plan enforces all of it).
+  std::vector<std::size_t> members;
 };
 
 /// A reproducible failure schedule: seed + events. Value type; attach to a
@@ -150,7 +174,21 @@ struct FaultPlan {
                                    double max_bytes = 8.0);
   static FaultEvent hub_degrade(double divisor, double from,
                                 double duration = -1.0);
+  /// Network partition: `members` vs the rest, active over the virtual-
+  /// time window [from, from + duration).
+  static FaultEvent partition(std::vector<std::size_t> members, double from,
+                              double duration);
 };
+
+/// Construction-time sanity check of a plan, also run by FaultInjector:
+/// throws std::invalid_argument — with a message naming the offending
+/// event — when an owner-kind event lacks an explicit in-range target
+/// processor, when two count-triggered events of the same kind share a
+/// single-owner trigger counter (same site, same after_calls: both would
+/// fire on the same probe, which makes the schedule ambiguous), or when a
+/// partition window has out-of-order bounds or a member set that is not a
+/// non-empty proper subset of the processors.
+void validate_plan(const FaultPlan& plan, std::size_t total_processors);
 
 /// Raised inside a simulated processor when a kCrash event fires. The
 /// cluster catches it, deregisters the processor from the barrier (so
@@ -173,6 +211,20 @@ class ProcessorFailed : public std::runtime_error {
 class ProcessorHung : public std::runtime_error {
  public:
   ProcessorHung(std::size_t processor, const std::string& site);
+  std::size_t processor() const { return processor_; }
+
+ private:
+  std::size_t processor_;
+};
+
+/// Raised inside a simulated processor when it attempts a collective
+/// operation while an active kPartition window leaves it on a side
+/// without quorum: it cannot rendezvous with a majority, so it aborts the
+/// phase cleanly. The cluster catches this, deregisters the processor
+/// (releasing the quorum side's barriers) and reports kPartitioned.
+class ProcessorPartitioned : public std::runtime_error {
+ public:
+  ProcessorPartitioned(std::size_t processor, const std::string& site);
   std::size_t processor() const { return processor_; }
 
  private:
@@ -225,6 +277,12 @@ class FaultInjector {
   /// Aggregate-bandwidth divisor active at virtual time `now` (>= 1.0).
   double hub_divisor(double now);
 
+  /// True when `proc` sits on a side without quorum of a kPartition
+  /// window active at virtual time `now`. Read-only (no trigger state) so
+  /// processors may poll it between collectives — e.g. to defer commits
+  /// that need a quorum acknowledgement until the partition heals.
+  bool partition_minority(std::size_t proc, double now) const;
+
   /// Total faults injected so far (all kinds, all processors).
   std::size_t injected() const;
 
@@ -238,6 +296,7 @@ class FaultInjector {
   void mutate(std::vector<std::uint8_t>& bytes, std::size_t max_bytes,
               Rng& rng);
 
+  std::size_t total_processors_;
   std::vector<EventState> events_;
   std::vector<Rng> proc_rng_;  ///< one stream per processor (crash sites,
                                ///< region corruption)

@@ -170,12 +170,20 @@ LeaseView LeaseBoard::view_at(std::size_t observer, double time,
     // A claim shadows this observer iff it strictly precedes (time,
     // observer) in (t, proc) order and the claimant was still live at
     // `time` — a claim by a processor that is virtually dead by now will
-    // never be honoured, so it must not block a backup.
+    // never be honoured, so it must not block a backup. Exception: a
+    // claimant that already declared done shadows permanently. Death
+    // after done (a partition or hang at the next collective) publishes
+    // its terminal fact outside the board protocol — done_ is what
+    // released our wait above, so terminal_time_ may or may not have
+    // landed when we read it. Ignoring it for done claimants keeps the
+    // view a pure function of virtual time; a shadowed class the dead
+    // claimant never committed is re-mined by the post-gather recovery
+    // rounds, not by a racing backup.
     const bool precedes = claim.time < time ||
                           (claim.time == time && claim.proc < observer);
     if (!precedes) continue;
     const double terminal = terminal_time_[claim.proc];
-    if (terminal >= 0.0 && terminal <= time) continue;
+    if (!done_[claim.proc] && terminal >= 0.0 && terminal <= time) continue;
     view.claimed.push_back(claim.task);
   }
   std::sort(view.claimed.begin(), view.claimed.end());

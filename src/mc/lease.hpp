@@ -26,7 +26,11 @@
 //
 // Claims order by (time, processor) lexicographically; a claim shadows an
 // observer's own intent iff its key precedes (T, me) and the claimant was
-// still live at T (terminal_time > T). Commits are permanent facts.
+// still live at T (terminal_time > T) — except that a claimant that has
+// declared done shadows permanently, because a death after done (e.g. a
+// partition cut at the next collective) publishes its terminal fact
+// outside the protocol window the release condition can order against.
+// Commits are permanent facts.
 // Terminal processors (crashed / hung / aborted) stop publishing forever,
 // so waiters release immediately; their outstanding leases simply stop
 // being renewed, which is exactly how a silent hang becomes visible.

@@ -112,6 +112,12 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
   std::vector<double> reduction_end(total, 0.0);
   // eclat-lint: allow(det-thread) instrumentation flag set inside the run, folded only after the threads join
   std::atomic<bool> recovery_ran{false};
+  // eclat-lint: allow(det-thread) instrumentation counter folded only after the threads join
+  std::atomic<std::uint64_t> lineage_rebuilds{0};
+  // Per-processor replica-copy counts at run end (disjoint slots, written
+  // only by finishing processors; all finishers fold identical snapshot
+  // sequences, so their values agree).
+  std::vector<std::uint64_t> replica_copies(total, 0);
 
   // Replicated recovery state (Memory Channel receive regions are
   // replicated on every node — see recovery.hpp): tid-list images of every
@@ -267,6 +273,12 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
     // store is first-writer-wins — nothing may escape an uncommitted
     // round.
     std::vector<std::pair<std::size_t, mc::Blob>> staged_images;
+    // Exchange frames are stamped with the redo round as their sequence
+    // number; the replay filter drops duplicate deliveries (a retransmitted
+    // frame this receiver already merged, or a stale frame from an
+    // uncommitted round) so no section is ever double-merged.
+    std::uint32_t exchange_round = 0;
+    wire::ReplayFilter exchange_replay;
     while (true) {
       const std::vector<bool> failed = self.failed_snapshot();
       const std::vector<std::size_t> alive = survivors_of(failed);
@@ -327,7 +339,8 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
         }
         for (std::size_t dst = 0; dst < total; ++dst) {
           if (!failed[dst]) {
-            outgoing[dst] = wire::seal_frame(writers[dst].take());
+            outgoing[dst] = wire::seal_frame(writers[dst].take(),
+                                             exchange_round);
           }
         }
       });
@@ -348,7 +361,12 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
           if (a2a_failed[src]) continue;
           const mc::Blob blob = open_exchange_payload(
               self, src, std::move(incoming[src]), config);
-          wire::Reader reader(wire::open_frame(blob).payload);
+          const wire::FrameResult frame = wire::open_frame(blob);
+          if (!exchange_replay.accept(src, frame.seq)) {
+            self.mark("duplicate-dropped", src);
+            continue;
+          }
+          wire::Reader reader(frame.payload);
           while (!reader.done()) {
             const auto partition = reader.get<std::uint64_t>();
             const auto key = reader.get<PairKey>();
@@ -397,13 +415,96 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
       commit_failed = self.failed_snapshot();
       if (commit_failed == failed) break;
       self.mark("exchange-redo");
+      ++exchange_round;
     }
-    // The round committed: publish its images. No fault probe sits
-    // between the commit barrier and this loop, so a speculator or a
-    // recovery round observing the barrier's timestamp always finds the
-    // image (both paths treat a missing image as fatal).
+    // The round committed. First raise the store's epoch fence to this
+    // survivor's commit epoch: any straggler whose view predates the
+    // commit can no longer write (its puts carry an older epoch).
+    store.raise_fence(self.commit_epoch());
+
+    // Bounded-replication bookkeeping, one private tracker per processor:
+    // every survivor folds the identical failure snapshots in the
+    // identical order, so all trackers agree without sharing state.
+    // Placement is fixed at the commit snapshot — nodes already dead at
+    // commit never became holders.
+    parallel::ReplicaTracker replicas(total, config.replication,
+                                      plan.classes.size(), commit_failed);
+
+    // Quorum gating: a processor cut to the minority side of a partition
+    // must not commit into the replicated store (its writes could not
+    // reach a quorum of receive regions on the real machine). Its puts
+    // queue locally and flush at the first point it is back in quorum —
+    // or die with its abort, in which case recovery re-mines the classes
+    // from replicas or lineage. The epoch stamp is defense in depth: even
+    // a put that somehow slipped through after the majority moved on
+    // would be fenced off by its stale epoch.
+    std::vector<std::pair<std::size_t, mc::Blob>> pending_images;
+    std::vector<std::pair<std::size_t, mc::Blob>> pending_results;
+    auto flush_pending = [&] {
+      if (!self.quorum_member()) return false;
+      for (auto& [c, sealed] : pending_images) {
+        store.put_tidlists(c, std::move(sealed), self.commit_epoch());
+      }
+      pending_images.clear();
+      for (auto& [c, sealed] : pending_results) {
+        store.put_result(c, std::move(sealed), self.commit_epoch());
+      }
+      pending_results.clear();
+      return true;
+    };
+    auto commit_image = [&](std::size_t c, mc::Blob sealed) {
+      pending_images.emplace_back(c, std::move(sealed));
+      flush_pending();
+    };
+    auto commit_result = [&](std::size_t c, mc::Blob sealed) {
+      pending_results.emplace_back(c, std::move(sealed));
+      flush_pending();
+    };
+
+    // Survivor-driven re-replication: fold a new failure snapshot into
+    // the tracker; every survivor computes the identical transfer list
+    // and charges only its own legs (the source re-reads the image from
+    // its disk and sends it; the target writes its new copy).
+    // One repair batch streams its legs: the images a source re-reads sit
+    // in class order on its local disk (the transformation phase wrote
+    // them that way), and a target appends its new copies to the same
+    // log, so each side pays one seek per batch and then transfers at
+    // the sequential rate.
+    auto repair_replicas = [&](const std::vector<bool>& failed_now) {
+      bool first_read = true;
+      bool first_write = true;
+      for (const parallel::ReplicaTransfer& transfer :
+           replicas.on_failures(failed_now)) {
+        const std::optional<mc::Blob> image = store.tidlists(transfer.class_id);
+        if (!image) continue;  // never published (dead minority owner)
+        if (transfer.source == me) {
+          if (first_read) {
+            self.disk_read(image->size(), 1);
+            first_read = false;
+          } else {
+            self.disk_read_stream(image->size(), 1);
+          }
+          self.advance(self.cost().message_time(image->size()));
+          self.mark("replica-send", transfer.class_id);
+        }
+        if (transfer.target == me) {
+          if (first_write) {
+            self.disk_write(image->size());
+            first_write = false;
+          } else {
+            self.disk_write_stream(image->size());
+          }
+          self.mark("replica-recv", transfer.class_id);
+        }
+      }
+    };
+
+    // Publish the committed round's images. No fault probe sits between
+    // the commit barrier and this loop, so in-quorum publishes are
+    // immediately visible to speculators and recovery; queued ones are
+    // covered by re-replication's `continue` above plus lineage.
     for (auto& [c, sealed] : staged_images) {
-      store.put_tidlists(c, std::move(sealed));
+      commit_image(c, std::move(sealed));
     }
     self.phase_end("transformation");
     transform_end[me] = self.now();
@@ -441,6 +542,38 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
     // Strictly per-processor scratch (the arena is not thread-safe);
     // reused across this processor's classes and the recovery re-mines.
     TidArena arena;
+
+    // Mine class `c` from wherever its data still lives: the replicated
+    // image while at least one holder survives (and the image actually
+    // reached the store), else lineage — rebuild the class's global
+    // tid-lists from the on-disk horizontal partitions (every partition
+    // file outlives its processor on the host's disk) and re-mine. Both
+    // paths are deterministic functions of the class, so their
+    // checkpoints are byte-identical to the owner's.
+    auto mine_class_anywhere = [&](std::size_t c) {
+      if (replicas.available(c)) {
+        if (const std::optional<mc::Blob> image = store.tidlists(c)) {
+          return mine_class_image(self, *image, config, arena);
+        }
+      }
+      lineage_rebuilds.fetch_add(1, std::memory_order_relaxed);
+      self.mark("class-lineage", c);
+      const EquivalenceClass& eq_class = plan.classes[c];
+      std::vector<std::span<const Transaction>> partitions(total);
+      for (std::size_t q = 0; q < total; ++q) {
+        partitions[q] = local_partition(db, topology, q);
+        self.disk_read(partition_bytes(partitions[q]), 1);
+      }
+      std::vector<FrequentItemset> class_found;
+      self.compute([&] {
+        const std::vector<Atom> atoms =
+            rebuild_class_atoms(eq_class, partitions);
+        std::vector<std::size_t> lineage_histogram;
+        compute_frequent(atoms, config.minsup, config.kernel, arena,
+                         class_found, lineage_histogram);
+      });
+      return class_found;
+    };
     // The owner's classes are laid out contiguously on its local disk (the
     // transformation phase wrote them in class order), so the sequential
     // pass pays one seek and then streams; a seek is re-paid only after a
@@ -476,8 +609,11 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
       });
       mc::Blob sealed = wire::seal_frame(checkpoint_bytes(class_found));
       self.disk_write(sealed.size());
-      store.put_result(c, std::move(sealed));
-      if (speculate) self.lease_commit(c);
+      commit_result(c, std::move(sealed));
+      // A minority-partitioned owner keeps its commit private: the board
+      // must not advertise a checkpoint whose store put is still queued
+      // (a backup trusting it would skip a class recovery must re-mine).
+      if (speculate && self.quorum_member()) self.lease_commit(c);
       self.fault_point("class-checkpointed");
       found.insert(found.end(),
                    std::make_move_iterator(class_found.begin()),
@@ -518,17 +654,11 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
         }
         if (pick != plan.classes.size()) {
           self.lease_claim(pick);
-          const std::optional<mc::Blob> image = store.tidlists(pick);
-          if (!image) {
-            throw std::runtime_error(
-                "speculation: no tid-list image for a committed class");
-          }
-          std::vector<FrequentItemset> class_found =
-              mine_class_image(self, *image, config, arena);
+          std::vector<FrequentItemset> class_found = mine_class_anywhere(pick);
           mc::Blob sealed = wire::seal_frame(checkpoint_bytes(class_found));
           self.disk_write(sealed.size());
-          store.put_result(pick, std::move(sealed));
-          self.lease_commit(pick);
+          commit_result(pick, std::move(sealed));
+          if (self.quorum_member()) self.lease_commit(pick);
           self.mark("class-speculated", pick);
           found.insert(found.end(),
                        std::make_move_iterator(class_found.begin()),
@@ -543,12 +673,19 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
             jitter.uniform(0.0, 0.05 * horizon);
         self.advance(std::max(step, 0.0));
         self.lease_touch();
+        flush_pending();  // heal point: idling forward may exit a window
       }
     }
     // From here on this processor publishes no further lease activity:
     // peers still observing must not wait on us once we block in the
     // reduction collectives.
     self.lease_done();
+    // Last flush before the store goes write-quiescent: a processor that
+    // healed during the asynchronous phase lands its queued commits here;
+    // one still in the minority keeps them queued and will abort at the
+    // gather below (the store must see no writes after the gather, so
+    // the reads during recovery are globally consistent).
+    flush_pending();
     self.phase_end("asynchronous");
     async_end[me] = self.now();
 
@@ -568,6 +705,11 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
     // are assembled from the store below, deduplicated by class id.
     self.all_gather(wire::seal_frame(writer.take()));
     const std::vector<bool> gather_failed = self.failed_snapshot();
+    // Fence off any processor whose view predates this fold, then repair
+    // under-replicated images (survivors of the gather agree on the
+    // snapshot, so they schedule identical transfers).
+    store.raise_fence(self.commit_epoch());
+    repair_replicas(gather_failed);
     self.phase_end("reduction");
     reduction_end[me] = self.now();
 
@@ -618,13 +760,7 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
           for (std::size_t i = 0; i < unfinished.size(); ++i) {
             const std::size_t c = unfinished[i];
             if (alive[placement[i]] != me) continue;
-            const std::optional<mc::Blob> image = store.tidlists(c);
-            if (!image) {
-              throw std::runtime_error(
-                  "recovery: no tid-list image for a committed class");
-            }
-            std::vector<FrequentItemset> class_found =
-                mine_class_image(self, *image, config, arena);
+            std::vector<FrequentItemset> class_found = mine_class_anywhere(c);
             recovered.put<std::uint64_t>(c);
             recovered.put_vector(checkpoint_bytes(class_found));
             self.mark("class-recovered", c);
@@ -633,6 +769,10 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
               self.all_gather(wire::seal_frame(recovered.take())));
           recovery_snapshots.push_back(self.failed_snapshot());
           const std::vector<bool>& after = recovery_snapshots.back();
+          // A re-miner that died mid-round is a fresh failure: fence it
+          // off and restore the replication factor before going around.
+          store.raise_fence(self.commit_epoch());
+          repair_replicas(after);
 
           // Classes whose re-miner survived the gather are recovered; the
           // rest (their miner died mid-recovery) go around again.
@@ -646,6 +786,8 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
         self.phase_end("recovery");
       }
     }
+
+    replica_copies[me] = replicas.total_replicas();
 
     // ----- Assembly on the lowest-id survivor. -----
     std::size_t root = total;
@@ -740,6 +882,11 @@ ParallelOutput par_eclat(mc::Cluster& cluster, const HorizontalDatabase& db,
   }
   output.mc_bytes = cluster.channel().total_bytes() - mc_bytes_before;
   output.mc_messages = cluster.channel().total_messages() - mc_msgs_before;
+  output.image_bytes = store.tidlist_bytes();
+  output.replica_copies =
+      *std::max_element(replica_copies.begin(), replica_copies.end());
+  output.fenced_rejections = store.fenced_rejections();
+  output.lineage_rebuilds = lineage_rebuilds.load(std::memory_order_relaxed);
   return output;
 }
 

@@ -70,6 +70,15 @@ struct ParEclatConfig {
   std::size_t max_retransmits = 4;
   /// First retry's backoff in virtual seconds (doubles per attempt).
   double retransmit_backoff = 1e-4;
+  /// Replication factor R for the class tid-list images in the recovery
+  /// store: each image lives on the R highest-ranked nodes of its
+  /// rendezvous placement, and survivors re-replicate after every failure
+  /// fold (parallel/recovery.hpp). 0 = full replication, the legacy
+  /// every-node-holds-everything behaviour. When all R holders of an
+  /// image are lost before recovery needs it, the class is rebuilt by
+  /// lineage: re-inverting its tid-lists from the on-disk horizontal
+  /// partitions. Never affects the mined itemsets, only recovery cost.
+  std::size_t replication = 0;
 };
 
 /// Run parallel Eclat on the cluster. Fills phase_seconds with

@@ -46,6 +46,21 @@ struct ParallelOutput {
   std::uint64_t mc_bytes = 0;     ///< Memory Channel traffic of the run
   std::uint64_t mc_messages = 0;
 
+  // --- Recovery-store accounting (mc backend only; zero under the thread
+  // backend, which has no simulated failures). ---
+  /// Logical tid-list image bytes in the recovery store (one copy each;
+  /// multiply by the replication factor for the cluster-wide footprint).
+  std::uint64_t image_bytes = 0;
+  /// Live image replica copies across all classes at the end of the run,
+  /// as seen by the assembling survivor's tracker.
+  std::uint64_t replica_copies = 0;
+  /// Store puts rejected by the epoch fence (stale writers from a healed
+  /// partition minority).
+  std::uint64_t fenced_rejections = 0;
+  /// Classes recovered by lineage recomputation from the on-disk
+  /// horizontal partitions because every image replica was lost.
+  std::uint64_t lineage_rebuilds = 0;
+
   double setup_seconds() const {
     double setup = 0.0;
     for (const auto& [name, seconds] : phase_seconds) {

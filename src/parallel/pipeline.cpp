@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "vertical/tidlist.hpp"
 
 namespace eclat::par {
 
@@ -54,6 +55,26 @@ std::vector<Atom> take_class_atoms(
         Atom{{eq_class.prefix, member}, std::move(lists.at(key))});
   }
   return atoms;
+}
+
+std::vector<Atom> rebuild_class_atoms(
+    const EquivalenceClass& eq_class,
+    std::span<const std::span<const Transaction>> partitions) {
+  const std::vector<PairKey> keys = eq_class.pair_keys();
+  std::unordered_map<PairKey, TidList> lists;
+  for (const std::span<const Transaction> partition : partitions) {
+    std::unordered_map<PairKey, TidList> partial =
+        invert_pairs(partition, keys);
+    for (const PairKey key : keys) {
+      TidList& list = lists[key];
+      const TidList& section = partial.at(key);
+      list.insert(list.end(), section.begin(), section.end());
+    }
+  }
+  for (const PairKey key : keys) {
+    ECLAT_DCHECK(is_valid_tidlist(lists.at(key)));
+  }
+  return take_class_atoms(eq_class, lists);
 }
 
 void append_singletons(MiningResult& result,

@@ -75,6 +75,18 @@ std::vector<Atom> take_class_atoms(
     const EquivalenceClass& eq_class,
     std::unordered_map<PairKey, TidList>& lists);
 
+/// Lineage fallback: rebuild the atoms of one equivalence class straight
+/// from the horizontal partitions (given in ascending block order), as if
+/// the transformation phase had run for just this class. Because the
+/// database is block-partitioned, concatenating per-partition inversions
+/// in partition order reproduces the globally sorted tid-lists exactly —
+/// the result is byte-for-byte the atoms the exchange would have
+/// delivered, which is what keeps recovery output identical when every
+/// replica of a class's image has been lost.
+std::vector<Atom> rebuild_class_atoms(
+    const EquivalenceClass& eq_class,
+    std::span<const std::span<const Transaction>> partitions);
+
 // --- Final-reduction assembly. All backends build the result in the same
 // deterministic order: frequent 1-itemsets, then frequent pairs, then the
 // per-class discoveries walked by ascending class id, then finalize. ---

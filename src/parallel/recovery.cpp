@@ -2,13 +2,22 @@
 // eclat-lint: allow-file(det-thread) the replicated store is shared by every processor thread; puts are idempotent first-writer-wins commits
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
 
 #include "common/check.hpp"
 
 namespace eclat::parallel {
 
-bool RecoveryStore::put_tidlists(std::size_t class_id, mc::Blob sealed) {
+bool RecoveryStore::put_tidlists(std::size_t class_id, mc::Blob sealed,
+                                 std::size_t epoch) {
   std::lock_guard lock(mutex_);
+  if (epoch < fence_) {
+    // The writer's snapshot predates a failure the survivors have already
+    // folded past: its view of the world is stale, so its commit is void.
+    ++fenced_rejections_;
+    return false;
+  }
   const auto it = tidlists_.find(class_id);
   if (it != tidlists_.end()) {
     // First-writer-wins: re-commits must reproduce the original bytes
@@ -27,8 +36,13 @@ std::optional<mc::Blob> RecoveryStore::tidlists(std::size_t class_id) const {
   return it->second;
 }
 
-bool RecoveryStore::put_result(std::size_t class_id, mc::Blob sealed) {
+bool RecoveryStore::put_result(std::size_t class_id, mc::Blob sealed,
+                               std::size_t epoch) {
   std::lock_guard lock(mutex_);
+  if (epoch < fence_) {
+    ++fenced_rejections_;
+    return false;
+  }
   const auto it = results_.find(class_id);
   if (it != results_.end()) {
     // A late original racing its speculative backup (or two recovery
@@ -69,10 +83,139 @@ std::size_t RecoveryStore::tidlist_count() const {
   return tidlists_.size();
 }
 
+std::size_t RecoveryStore::tidlist_bytes() const {
+  std::lock_guard lock(mutex_);
+  std::size_t bytes = 0;
+  for (const auto& [class_id, blob] : tidlists_) bytes += blob.size();
+  return bytes;
+}
+
+void RecoveryStore::raise_fence(std::size_t epoch) {
+  std::lock_guard lock(mutex_);
+  fence_ = std::max(fence_, epoch);
+}
+
+std::size_t RecoveryStore::fence() const {
+  std::lock_guard lock(mutex_);
+  return fence_;
+}
+
+std::size_t RecoveryStore::fenced_rejections() const {
+  std::lock_guard lock(mutex_);
+  return fenced_rejections_;
+}
+
 void RecoveryStore::clear() {
   std::lock_guard lock(mutex_);
   tidlists_.clear();
   results_.clear();
+  fence_ = 0;
+  fenced_rejections_ = 0;
+}
+
+// --- ReplicaTracker ---------------------------------------------------------
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  // splitmix64 finalizer: the rendezvous weight generator. Fixed
+  // constants, no state — the ranking is a pure function of (class, node).
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::vector<std::size_t> ReplicaTracker::rendezvous_rank(std::size_t class_id,
+                                                         std::size_t nodes) {
+  std::vector<std::pair<std::uint64_t, std::size_t>> weighted;
+  weighted.reserve(nodes);
+  for (std::size_t node = 0; node < nodes; ++node) {
+    const std::uint64_t weight =
+        mix64(static_cast<std::uint64_t>(class_id) * 0x100000001b3ULL ^
+              static_cast<std::uint64_t>(node));
+    weighted.emplace_back(weight, node);
+  }
+  std::sort(weighted.begin(), weighted.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;  // total order even on ties
+            });
+  std::vector<std::size_t> rank;
+  rank.reserve(nodes);
+  for (const auto& [weight, node] : weighted) rank.push_back(node);
+  return rank;
+}
+
+ReplicaTracker::ReplicaTracker(std::size_t nodes, std::size_t replication,
+                               std::size_t classes,
+                               const std::vector<bool>& initial_failed)
+    : nodes_(nodes),
+      r_(replication == 0 ? nodes : std::min(replication, nodes)),
+      failed_(initial_failed) {
+  ECLAT_CHECK(nodes > 0);
+  ECLAT_CHECK(initial_failed.size() == nodes);
+  rank_.reserve(classes);
+  holders_.reserve(classes);
+  for (std::size_t c = 0; c < classes; ++c) {
+    rank_.push_back(rendezvous_rank(c, nodes));
+    // Initial holders: the image's multicast write at the exchange commit
+    // lands only on replicas that are alive to receive it.
+    std::vector<std::size_t> live;
+    for (const std::size_t node : rank_.back()) {
+      if (live.size() == r_) break;
+      if (!failed_[node]) live.push_back(node);
+    }
+    holders_.push_back(std::move(live));
+  }
+}
+
+std::vector<ReplicaTransfer> ReplicaTracker::on_failures(
+    const std::vector<bool>& failed) {
+  ECLAT_CHECK(failed.size() == nodes_);
+  std::vector<ReplicaTransfer> transfers;
+  for (std::size_t c = 0; c < holders_.size(); ++c) {
+    std::vector<std::size_t>& holders = holders_[c];
+    holders.erase(std::remove_if(holders.begin(), holders.end(),
+                                 [&](std::size_t node) {
+                                   return failed[node];
+                                 }),
+                  holders.end());
+    if (holders.empty() || holders.size() >= r_) continue;
+    // Under-replicated but alive: refill from the fixed ranking. The
+    // first surviving holder streams the image to each new target —
+    // every survivor schedules the identical transfers from the
+    // identical snapshot, so no coordination is needed.
+    const std::size_t source = holders.front();
+    for (const std::size_t node : rank_[c]) {
+      if (holders.size() == r_) break;
+      if (failed[node]) continue;
+      if (std::find(holders.begin(), holders.end(), node) != holders.end()) {
+        continue;
+      }
+      holders.push_back(node);
+      transfers.push_back(ReplicaTransfer{c, source, node});
+    }
+  }
+  failed_ = failed;
+  return transfers;
+}
+
+bool ReplicaTracker::available(std::size_t class_id) const {
+  return !holders_[class_id].empty();
+}
+
+const std::vector<std::size_t>& ReplicaTracker::holders(
+    std::size_t class_id) const {
+  return holders_[class_id];
+}
+
+std::size_t ReplicaTracker::total_replicas() const {
+  std::size_t n = 0;
+  for (const std::vector<std::size_t>& h : holders_) n += h.size();
+  return n;
 }
 
 }  // namespace eclat::parallel

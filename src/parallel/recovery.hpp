@@ -1,11 +1,11 @@
 // Replicated recovery state for crash-tolerant Parallel Eclat.
 //
 // On the real machine this state needs no extra machinery: Memory Channel
-// receive regions are *replicated on every node* (a multicast write lands
-// in each mapped copy), and the exchanged tid-lists land on the owner's
-// local disk. A surviving node therefore already holds, or can re-read,
-// everything a failed peer was working on. The simulation models that with
-// one shared RecoveryStore per run:
+// receive regions are *replicated* (a multicast write lands in each mapped
+// copy), and the exchanged tid-lists land on the owner's local disk. A
+// surviving node therefore already holds, or can re-read, everything a
+// failed peer was working on. The simulation models that with one shared
+// RecoveryStore per run:
 //
 //   - tid-list images: the per-class atom payloads produced by the
 //     transformation phase's exchange, keyed by equivalence-class id;
@@ -26,10 +26,28 @@
 // a debug contract enforces that, so a torn or divergent re-mine can
 // never hide behind the idempotence.
 //
+// Epoch fencing (partition tolerance): every put carries the writer's
+// commit epoch (Processor::commit_epoch — the failed count of its latest
+// collective snapshot). Survivors raise the store's fence to the newest
+// epoch they observe; a put stamped with an older epoch is *rejected*,
+// not committed. That is what stops a healed minority processor from
+// retroactively writing state it computed before it was cut off: by the
+// time it could write, the majority has advanced the fence past it.
+//
+// Bounded replication: with full replication every node holds every class
+// image. The ReplicaTracker below models a replication factor R instead —
+// rendezvous placement of each class image on R nodes, plus deterministic
+// survivor-driven re-replication after failures. Whether a class's image
+// is still *available* (>= 1 live holder) is a pure function of the
+// (class set, R, failure history) every survivor evaluates identically;
+// when all R holders are lost, callers fall back to lineage recomputation
+// from the on-disk partition files.
+//
 // The store itself is cost-free; callers charge the simulated disk writes
 // and region traffic through the Processor they run on.
 #pragma once
 // eclat-lint: allow-file(det-thread) the replicated store is shared by every processor thread; puts are idempotent first-writer-wins commits
+// eclat-lint: allow-file(det-unordered-iter) checkpointed_classes sorts ids before returning; no emission depends on hash order
 
 #include <cstddef>
 #include <mutex>
@@ -45,15 +63,19 @@ class RecoveryStore {
  public:
   /// Record the sealed tid-list image of an equivalence class (called by
   /// the class's owner after the exchange round commits). First writer
-  /// wins; returns true when this call created the entry.
-  bool put_tidlists(std::size_t class_id, mc::Blob sealed);
+  /// wins; returns true when this call created the entry, false when it
+  /// was a duplicate or was rejected by the epoch fence.
+  bool put_tidlists(std::size_t class_id, mc::Blob sealed,
+                    std::size_t epoch = 0);
 
   /// Sealed tid-list image of a class, if any survivor retained one.
   std::optional<mc::Blob> tidlists(std::size_t class_id) const;
 
   /// Record the sealed result checkpoint of a fully-mined class. First
-  /// writer wins; returns true when this call created the entry.
-  bool put_result(std::size_t class_id, mc::Blob sealed);
+  /// writer wins; returns true when this call created the entry, false on
+  /// a duplicate or an epoch-fenced rejection.
+  bool put_result(std::size_t class_id, mc::Blob sealed,
+                  std::size_t epoch = 0);
 
   std::optional<mc::Blob> result(std::size_t class_id) const;
 
@@ -65,12 +87,100 @@ class RecoveryStore {
 
   std::size_t tidlist_count() const;
 
+  /// Total bytes of stored tid-list images (one logical copy each; the
+  /// replicated footprint is this times the live holder count — see
+  /// ReplicaTracker).
+  std::size_t tidlist_bytes() const;
+
+  /// Raise the fence to `epoch` (monotone). Every survivor calls this
+  /// with its commit epoch after observing a new failure snapshot; puts
+  /// stamped with an older epoch are rejected from then on.
+  void raise_fence(std::size_t epoch);
+
+  std::size_t fence() const;
+
+  /// Puts rejected because their epoch was behind the fence.
+  std::size_t fenced_rejections() const;
+
   void clear();
 
  private:
   mutable std::mutex mutex_;
   std::unordered_map<std::size_t, mc::Blob> tidlists_;
   std::unordered_map<std::size_t, mc::Blob> results_;
+  std::size_t fence_ = 0;
+  std::size_t fenced_rejections_ = 0;
+};
+
+/// One re-replication transfer the tracker scheduled after a failure:
+/// `source` (a surviving holder) streams class `class_id`'s image to
+/// `target` (the new holder). Every survivor computes the identical
+/// transfer list; each charges only the legs it participates in.
+struct ReplicaTransfer {
+  std::size_t class_id = 0;
+  std::size_t source = 0;
+  std::size_t target = 0;
+
+  friend bool operator==(const ReplicaTransfer&,
+                         const ReplicaTransfer&) = default;
+};
+
+/// Deterministic bounded-replication bookkeeping, one instance per
+/// processor (never shared — determinism comes from every survivor
+/// folding the identical failure snapshots in the identical order, not
+/// from shared state).
+///
+/// Placement is highest-random-weight (rendezvous) hashing: every node
+/// gets a pseudo-random weight per class, and the R highest-weighted
+/// nodes hold the class's image. Rendezvous placement keeps the holder
+/// sets of different classes spread over the cluster and — unlike
+/// modulo placement — moves no unrelated replicas when membership
+/// changes: a failure only refills the holder sets the dead node was in,
+/// always with the next node in that class's fixed weight ranking.
+class ReplicaTracker {
+ public:
+  /// `replication` = R; 0 means full replication (every node holds every
+  /// image — the legacy multicast behaviour). `initial_failed` is the
+  /// failure snapshot at the exchange commit: nodes already dead when the
+  /// images were written never became holders.
+  ReplicaTracker(std::size_t nodes, std::size_t replication,
+                 std::size_t classes, const std::vector<bool>& initial_failed);
+
+  /// Fixed per-class ranking of all nodes by descending rendezvous
+  /// weight. The first R live entries are the class's holders.
+  static std::vector<std::size_t> rendezvous_rank(std::size_t class_id,
+                                                  std::size_t nodes);
+
+  /// Fold a new failure snapshot in (must be a superset of every previous
+  /// one). Drops dead holders and schedules re-replication: each
+  /// under-replicated class that still has >= 1 live holder is refilled
+  /// from its ranking, pairing the first surviving holder as source with
+  /// each new target. Returns the transfers of *this* fold, ordered by
+  /// (class, target); idempotent for a repeated snapshot.
+  std::vector<ReplicaTransfer> on_failures(const std::vector<bool>& failed);
+
+  /// True while at least one holder of the class's image is alive. When
+  /// false the image is lost for good: recover the class by lineage
+  /// (recompute from the on-disk horizontal partitions) instead.
+  bool available(std::size_t class_id) const;
+
+  /// Current live holders of the class, in ranking order.
+  const std::vector<std::size_t>& holders(std::size_t class_id) const;
+
+  /// Effective replication factor (min(R, nodes); nodes when R = 0).
+  std::size_t replication() const { return r_; }
+
+  /// Sum of live holder counts over all classes (the replicated-footprint
+  /// multiplier for RecoveryStore::tidlist_bytes, in the uniform-size
+  /// approximation; bench_chaos reports the exact per-class sum).
+  std::size_t total_replicas() const;
+
+ private:
+  std::size_t nodes_;
+  std::size_t r_;
+  std::vector<bool> failed_;
+  std::vector<std::vector<std::size_t>> rank_;     ///< per class, fixed
+  std::vector<std::vector<std::size_t>> holders_;  ///< per class, live
 };
 
 }  // namespace eclat::parallel

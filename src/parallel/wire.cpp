@@ -20,20 +20,39 @@ std::array<std::uint32_t, 256> make_crc_table() {
 
 }  // namespace
 
-std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+std::uint32_t crc32(std::span<const std::uint8_t> bytes, std::uint32_t seed) {
   static const std::array<std::uint32_t, 256> table = make_crc_table();
-  std::uint32_t crc = 0xFFFFFFFFu;
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;  // undo the seed's final xor-out
   for (const std::uint8_t byte : bytes) {
     crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
   }
   return crc ^ 0xFFFFFFFFu;
 }
 
-mc::Blob seal_frame(const mc::Blob& payload) {
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  return crc32(bytes, 0);
+}
+
+namespace {
+
+/// CRC over seq || payload: a flipped sequence number fails validation
+/// just like a flipped payload byte.
+std::uint32_t frame_crc(std::uint32_t seq,
+                        std::span<const std::uint8_t> payload) {
+  std::uint8_t seq_bytes[sizeof(std::uint32_t)];
+  // eclat-lint: allow(contract-memcpy) serializes a live u32 into a fixed 4-byte buffer; no untrusted length involved
+  std::memcpy(seq_bytes, &seq, sizeof(seq));
+  return crc32(payload, crc32({seq_bytes, sizeof(seq_bytes)}));
+}
+
+}  // namespace
+
+mc::Blob seal_frame(const mc::Blob& payload, std::uint32_t seq) {
   Writer writer;
   writer.put<std::uint32_t>(kFrameMagic);
+  writer.put<std::uint32_t>(seq);
   writer.put<std::uint64_t>(payload.size());
-  writer.put<std::uint32_t>(crc32({payload.data(), payload.size()}));
+  writer.put<std::uint32_t>(frame_crc(seq, {payload.data(), payload.size()}));
   mc::Blob frame = writer.take();
   frame.insert(frame.end(), payload.begin(), payload.end());
   return frame;
@@ -48,6 +67,7 @@ FrameResult open_frame(const mc::Blob& frame) {
   }
   Reader reader(frame);
   const auto magic = reader.get<std::uint32_t>();
+  const auto seq = reader.get<std::uint32_t>();
   const auto length = reader.get<std::uint64_t>();
   const auto checksum = reader.get<std::uint32_t>();
   if (magic != kFrameMagic) {
@@ -62,11 +82,12 @@ FrameResult open_frame(const mc::Blob& frame) {
   }
   const std::span<const std::uint8_t> payload{
       frame.data() + kFrameHeaderBytes, static_cast<std::size_t>(length)};
-  if (crc32(payload) != checksum) {
+  if (frame_crc(seq, payload) != checksum) {
     result.error = "frame checksum mismatch";
     return result;
   }
   result.ok = true;
+  result.seq = seq;
   result.payload = payload;
   return result;
 }

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <set>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -118,11 +119,17 @@ class Reader {
 // --- CRC32-checked framing -------------------------------------------------
 //
 // Payloads that cross the simulated Memory Channel can be corrupted by the
-// fault injector (bit flips, truncation). A sealed frame carries enough
-// redundancy to *detect* any such mutation before a decoder touches the
-// payload:
+// fault injector (bit flips, truncation), and retransmission after hub
+// degradation or straggler re-execution can deliver the *same* frame more
+// than once. A sealed frame carries enough redundancy to detect any
+// mutation before a decoder touches the payload, plus a sender-assigned
+// sequence number so receivers can suppress duplicate deliveries:
 //
-//   [magic u32] [payload length u64] [crc32(payload) u32] [payload bytes]
+//   [magic u32] [seq u32] [payload length u64] [crc u32] [payload bytes]
+//
+// The CRC covers seq || payload, so a flipped sequence number is caught
+// exactly like a flipped payload byte — a duplicate can't be smuggled past
+// the ReplayFilter by corrupting its seq field.
 //
 // open_frame() is non-throwing by design: a CRC mismatch is an expected
 // runtime event under fault injection (the receiver recovers via
@@ -131,26 +138,57 @@ class Reader {
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `bytes`.
 std::uint32_t crc32(std::span<const std::uint8_t> bytes);
 
+/// Chaining form: continue a CRC computation across discontiguous spans.
+/// `crc32(b)` == `crc32(b2, crc32(b1))` when b = b1 || b2.
+std::uint32_t crc32(std::span<const std::uint8_t> bytes, std::uint32_t seed);
+
 inline constexpr std::uint32_t kFrameMagic = 0x45434C54;  // "ECLT"
 inline constexpr std::size_t kFrameHeaderBytes =
-    sizeof(std::uint32_t) + sizeof(std::uint64_t) + sizeof(std::uint32_t);
+    sizeof(std::uint32_t) + sizeof(std::uint32_t) + sizeof(std::uint64_t) +
+    sizeof(std::uint32_t);
 
-/// Wrap a payload in a checksummed frame.
-mc::Blob seal_frame(const mc::Blob& payload);
+/// Wrap a payload in a checksummed frame stamped with `seq`. Senders that
+/// may retransmit (exchange redo rounds, speculative re-sends) stamp each
+/// logical send attempt so receivers can drop duplicates; 0 is fine for
+/// point payloads that are never replayed.
+mc::Blob seal_frame(const mc::Blob& payload, std::uint32_t seq = 0);
 
 /// Outcome of open_frame. On success `payload` views into the frame blob
-/// (which must outlive it); on failure `error` says what was wrong.
+/// (which must outlive it) and `seq` is the sender's sequence number; on
+/// failure `error` says what was wrong.
 struct FrameResult {
   bool ok = false;
   std::string error;
+  std::uint32_t seq = 0;
   std::span<const std::uint8_t> payload;
 
   explicit operator bool() const { return ok; }
 };
 
-/// Validate a sealed frame: magic, declared length vs actual bytes, CRC.
-/// Never throws; corrupted input (truncated, flipped, foreign) yields
-/// ok == false with a diagnostic.
+/// Validate a sealed frame: magic, declared length vs actual bytes, CRC
+/// over seq || payload. Never throws; corrupted input (truncated, flipped,
+/// foreign) yields ok == false with a diagnostic.
 FrameResult open_frame(const mc::Blob& frame);
+
+/// Per-receiver duplicate-delivery suppression. accept(src, seq) returns
+/// true the first time a (sender, sequence) pair is seen and false on
+/// every replay — the receiver processes a logical message exactly once
+/// no matter how many times retransmission delivers it. Sized for the
+/// simulator (a few senders, small bounded seq ranges), so it simply
+/// remembers every accepted pair.
+class ReplayFilter {
+ public:
+  bool accept(std::size_t src, std::uint32_t seq) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(src) << 32) | static_cast<std::uint64_t>(seq);
+    return seen_.insert(key).second;
+  }
+
+  /// Pairs accepted so far.
+  std::size_t size() const { return seen_.size(); }
+
+ private:
+  std::set<std::uint64_t> seen_;  // ordered: no hash-order iteration anywhere
+};
 
 }  // namespace eclat::wire

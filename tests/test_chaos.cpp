@@ -1,0 +1,210 @@
+// Seeded chaos sweeps as a tier-1 regression gate: hundreds of random
+// compound fault schedules, each asserting the harness contract — the
+// run either completes byte-identical to the fault-free reference or
+// aborts cleanly with an expected diagnostic, never hangs, and replays
+// bit-identically. The CLI in tools/chaos sweeps far more seeds in the
+// CI soak leg; the fixed seeds here keep every local `ctest` honest.
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chaos.hpp"
+#include "mc/fault.hpp"
+
+namespace eclat::chaos {
+namespace {
+
+const HorizontalDatabase& test_db() {
+  static const HorizontalDatabase db = chaos_database(1997, 200);
+  return db;
+}
+
+/// Fault-free baseline for the sweep's byte-identical comparisons.
+const ChaosRun& reference_run() {
+  static const ChaosRun reference = [] {
+    ChaosRun run = run_plan(test_db(), mc::FaultPlan{}, ChaosOptions{});
+    EXPECT_TRUE(run.completed) << run.error;
+    EXPECT_FALSE(run.result_bytes.empty());
+    return run;
+  }();
+  return reference;
+}
+
+ChaosKnobs default_knobs() {
+  ChaosKnobs knobs;
+  knobs.makespan_hint = reference_run().makespan;
+  return knobs;
+}
+
+/// The chaos contract for one run: completed-and-byte-identical, or a
+/// clean deterministic abort. Anything else is a broken invariant.
+void expect_contract(const ChaosRun& run, const std::string& where) {
+  if (run.completed) {
+    EXPECT_FALSE(run.clean_abort) << where;
+    EXPECT_EQ(run.result_bytes, reference_run().result_bytes)
+        << where << ": completed run dropped or invented itemsets";
+  } else {
+    EXPECT_TRUE(run.clean_abort)
+        << where << ": unexpected abort diagnostic \"" << run.error << "\"";
+  }
+}
+
+void expect_identical(const ChaosRun& a, const ChaosRun& b,
+                      const std::string& where) {
+  EXPECT_EQ(a.completed, b.completed) << where;
+  EXPECT_EQ(a.clean_abort, b.clean_abort) << where;
+  EXPECT_EQ(a.error, b.error) << where;
+  EXPECT_EQ(a.makespan, b.makespan) << where;
+  EXPECT_EQ(a.finished, b.finished) << where;
+  EXPECT_EQ(a.crashed, b.crashed) << where;
+  EXPECT_EQ(a.hung, b.hung) << where;
+  EXPECT_EQ(a.partitioned, b.partitioned) << where;
+  EXPECT_EQ(a.lineage_rebuilds, b.lineage_rebuilds) << where;
+  EXPECT_EQ(a.fenced_rejections, b.fenced_rejections) << where;
+  EXPECT_EQ(a.result_bytes, b.result_bytes) << where;
+}
+
+TEST(Chaos, FaultFreeRunCompletesOnAllProcessors) {
+  const ChaosRun& run = reference_run();
+  EXPECT_TRUE(run.completed);
+  EXPECT_EQ(run.finished, 4u);
+  EXPECT_EQ(run.crashed, 0u);
+  EXPECT_EQ(run.error, "");
+}
+
+TEST(Chaos, CompoundSweepHoldsTheContract) {
+  const ChaosKnobs knobs = default_knobs();
+  std::size_t completed = 0;
+  for (std::uint64_t seed = 0; seed < 120; ++seed) {
+    const mc::FaultPlan plan = generate_plan(seed, knobs);
+    const ChaosRun run = run_plan(test_db(), plan, ChaosOptions{});
+    expect_contract(run, "seed " + std::to_string(seed));
+    if (run.completed) ++completed;
+  }
+  // The sweep must actually exercise both sides of the contract: plenty
+  // of runs survive their schedule, and at least some abort cleanly.
+  EXPECT_GT(completed, 40u);
+  EXPECT_LT(completed, 120u);
+}
+
+TEST(Chaos, CompoundSweepReplaysBitIdentically) {
+  const ChaosKnobs knobs = default_knobs();
+  for (std::uint64_t seed = 200; seed < 230; ++seed) {
+    const mc::FaultPlan plan = generate_plan(seed, knobs);
+    const ChaosRun first = run_plan(test_db(), plan, ChaosOptions{});
+    const ChaosRun second = run_plan(test_db(), plan, ChaosOptions{});
+    expect_identical(first, second, "seed " + std::to_string(seed));
+  }
+}
+
+TEST(Chaos, PartitionOnlySweepHoldsTheContract) {
+  ChaosKnobs knobs = default_knobs();
+  knobs.crashes = false;
+  knobs.hangs = false;
+  knobs.stalls = false;
+  knobs.corruptions = false;
+  knobs.hub_degrades = false;
+  std::size_t partitioned_runs = 0;
+  for (std::uint64_t seed = 300; seed < 340; ++seed) {
+    const mc::FaultPlan plan = generate_plan(seed, knobs);
+    const ChaosRun run = run_plan(test_db(), plan, ChaosOptions{});
+    expect_contract(run, "partition seed " + std::to_string(seed));
+    if (run.partitioned > 0) ++partitioned_runs;
+  }
+  EXPECT_GT(partitioned_runs, 0u);
+}
+
+TEST(Chaos, BoundedReplicationSweepHoldsTheContract) {
+  const ChaosKnobs knobs = default_knobs();
+  for (const std::size_t replication : {std::size_t{1}, std::size_t{2}}) {
+    ChaosOptions options;
+    options.replication = replication;
+    for (std::uint64_t seed = 400; seed < 420; ++seed) {
+      const mc::FaultPlan plan = generate_plan(seed, knobs);
+      const ChaosRun run = run_plan(test_db(), plan, options);
+      expect_contract(run, "R=" + std::to_string(replication) + " seed " +
+                               std::to_string(seed));
+    }
+  }
+}
+
+TEST(Chaos, NoSpeculationSweepHoldsTheContract) {
+  // With leases off, every unfinished class routes through the
+  // post-gather recovery rounds — the replica/lineage paths carry the
+  // whole repair load.
+  const ChaosKnobs knobs = default_knobs();
+  ChaosOptions options;
+  options.speculate = false;
+  options.replication = 1;
+  for (std::uint64_t seed = 500; seed < 520; ++seed) {
+    const mc::FaultPlan plan = generate_plan(seed, knobs);
+    const ChaosRun run = run_plan(test_db(), plan, options);
+    expect_contract(run, "no-spec seed " + std::to_string(seed));
+  }
+}
+
+TEST(Chaos, GeneratedPlansAlwaysValidate) {
+  const ChaosKnobs knobs = default_knobs();
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    const mc::FaultPlan plan = generate_plan(seed, knobs);
+    EXPECT_NO_THROW(mc::validate_plan(plan, knobs.total_processors))
+        << "seed " << seed;
+    EXPECT_FALSE(plan.empty()) << "seed " << seed;
+  }
+}
+
+TEST(Chaos, PlanTextRoundTrips) {
+  const ChaosKnobs knobs = default_knobs();
+  for (std::uint64_t seed = 600; seed < 625; ++seed) {
+    const mc::FaultPlan plan = generate_plan(seed, knobs);
+    const std::string text = plan_to_text(plan);
+    const mc::FaultPlan parsed = plan_from_text(text);
+    // Re-serialization is the equality check: the text form is canonical
+    // (%.17g doubles round-trip exactly).
+    EXPECT_EQ(plan_to_text(parsed), text) << "seed " << seed;
+    EXPECT_EQ(parsed.seed, plan.seed);
+    EXPECT_EQ(parsed.events.size(), plan.events.size());
+  }
+}
+
+TEST(Chaos, MalformedPlanTextNamesTheOffendingLine) {
+  const auto what_of = [](const std::string& text) {
+    try {
+      (void)plan_from_text(text);
+    } catch (const std::invalid_argument& error) {
+      return std::string(error.what());
+    }
+    return std::string();
+  };
+  // A bogus directive on line 2.
+  std::string what = what_of("seed 7\nbogus kind=crash\n");
+  EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  // An unparseable field value on line 2.
+  what = what_of("seed 7\nevent kind=crash processor=banana\n");
+  EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+  // A missing seed line is diagnosed as such.
+  what = what_of("event kind=crash processor=0\n");
+  EXPECT_FALSE(what.empty());
+  // Empty input has no seed either.
+  EXPECT_THROW((void)plan_from_text(""), std::invalid_argument);
+}
+
+TEST(Chaos, ReplayedTextPlanProducesTheIdenticalRun) {
+  // The CI soak leg's artifact loop: a failing plan is written as text
+  // and replayed from the file. The replay must reproduce the original
+  // run exactly, or the artifact is useless.
+  const ChaosKnobs knobs = default_knobs();
+  for (std::uint64_t seed = 700; seed < 710; ++seed) {
+    const mc::FaultPlan plan = generate_plan(seed, knobs);
+    const mc::FaultPlan replayed = plan_from_text(plan_to_text(plan));
+    expect_identical(run_plan(test_db(), plan, ChaosOptions{}),
+                     run_plan(test_db(), replayed, ChaosOptions{}),
+                     "seed " + std::to_string(seed));
+  }
+}
+
+}  // namespace
+}  // namespace eclat::chaos

@@ -95,16 +95,30 @@ TEST(LeaseBoard, CommitIsPermanentAndVisible) {
 
 TEST(LeaseBoard, ClaimShadowsOnlyWhileClaimantLives) {
   mc::LeaseBoard board(2);
-  board.mark_done(1, 0.5);
   board.claim(1, 9, 0.5);
-  EXPECT_TRUE(board.view_at(0, 1.0, unit_policy()).is_claimed(9));
+  board.mark_terminal(1, 0.8);  // crashed mid-work, never declared done
+  EXPECT_TRUE(board.view_at(0, 0.7, unit_policy()).is_claimed(9));
   // A claim dated at the view time by a higher id does not precede
   // (time, observer) = (0.5, 0), so it does not shadow.
   EXPECT_FALSE(board.view_at(0, 0.5, unit_policy()).is_claimed(9));
   // Once the claimant is terminal the claim stops shadowing: someone else
   // must be able to take the task over.
-  board.mark_terminal(1, 0.8);
   EXPECT_FALSE(board.view_at(0, 1.0, unit_policy()).is_claimed(9));
+}
+
+TEST(LeaseBoard, DoneClaimantKeepsShadowingAfterTerminal) {
+  mc::LeaseBoard board(2);
+  board.mark_done(1, 0.5);
+  board.claim(1, 9, 0.5);
+  EXPECT_TRUE(board.view_at(0, 1.0, unit_policy()).is_claimed(9));
+  // Death after done (a partition cut or hang at the next collective)
+  // publishes its terminal fact outside the window the release condition
+  // can order against — done_ may have released this observer before the
+  // terminal landed. The claim keeps shadowing so the view stays a pure
+  // function of virtual time; the class is re-mined by the post-gather
+  // recovery rounds, never by a racing backup.
+  board.mark_terminal(1, 0.8);
+  EXPECT_TRUE(board.view_at(0, 1.0, unit_policy()).is_claimed(9));
 }
 
 TEST(LeaseBoard, SuspectsAreTimestampedFacts) {

@@ -100,5 +100,164 @@ TEST(RecoveryStore, MissingEntriesReadAsEmpty) {
   EXPECT_TRUE(store.checkpointed_classes().empty());
 }
 
+// --- Epoch fencing: stale writers (healed minority stragglers) are
+// rejected, not committed. ---
+
+TEST(RecoveryStore, FenceRejectsStalePutsAndCountsThem) {
+  RecoveryStore store;
+  store.raise_fence(2);
+  EXPECT_EQ(store.fence(), 2u);
+  // Epoch 1 predates the fence: both tables reject and nothing lands.
+  EXPECT_FALSE(store.put_result(0, sealed_payload(1), /*epoch=*/1));
+  EXPECT_FALSE(store.put_tidlists(0, sealed_payload(2), /*epoch=*/1));
+  EXPECT_FALSE(store.has_result(0));
+  EXPECT_FALSE(store.tidlists(0).has_value());
+  EXPECT_EQ(store.fenced_rejections(), 2u);
+  // Epoch == fence is current, not stale.
+  EXPECT_TRUE(store.put_result(0, sealed_payload(1), /*epoch=*/2));
+  EXPECT_TRUE(store.put_tidlists(0, sealed_payload(2), /*epoch=*/2));
+  EXPECT_EQ(store.fenced_rejections(), 2u);
+}
+
+TEST(RecoveryStore, FenceIsMonotone) {
+  RecoveryStore store;
+  store.raise_fence(3);
+  store.raise_fence(1);  // lowering is a no-op: survivors only advance it
+  EXPECT_EQ(store.fence(), 3u);
+  EXPECT_FALSE(store.put_result(7, sealed_payload(7), /*epoch=*/2));
+  store.raise_fence(5);
+  EXPECT_EQ(store.fence(), 5u);
+}
+
+TEST(RecoveryStore, FencedDuplicateDoesNotDisturbCommittedEntry) {
+  // A stale re-put of an already-committed class must neither overwrite
+  // nor count as a first write; the original bytes stay authoritative.
+  RecoveryStore store;
+  const mc::Blob bytes = sealed_payload(4);
+  EXPECT_TRUE(store.put_result(9, bytes, /*epoch=*/0));
+  store.raise_fence(1);
+  EXPECT_FALSE(store.put_result(9, bytes, /*epoch=*/0));
+  EXPECT_EQ(*store.result(9), bytes);
+  EXPECT_EQ(store.fenced_rejections(), 1u);
+}
+
+TEST(RecoveryStore, ClearResetsFenceAndCounters) {
+  RecoveryStore store;
+  store.raise_fence(4);
+  EXPECT_FALSE(store.put_result(1, sealed_payload(1), /*epoch=*/0));
+  store.clear();
+  EXPECT_EQ(store.fence(), 0u);
+  EXPECT_EQ(store.fenced_rejections(), 0u);
+  EXPECT_TRUE(store.put_result(1, sealed_payload(1), /*epoch=*/0));
+}
+
+// --- ReplicaTracker: rendezvous placement and survivor-driven
+// re-replication. ---
+
+std::vector<bool> none_failed(std::size_t nodes) {
+  return std::vector<bool>(nodes, false);
+}
+
+TEST(ReplicaTracker, RendezvousRankIsADeterministicPermutation) {
+  for (std::size_t c = 0; c < 32; ++c) {
+    const std::vector<std::size_t> rank =
+        ReplicaTracker::rendezvous_rank(c, 6);
+    ASSERT_EQ(rank.size(), 6u);
+    std::vector<bool> seen(6, false);
+    for (const std::size_t node : rank) {
+      ASSERT_LT(node, 6u);
+      EXPECT_FALSE(seen[node]) << "duplicate node in rank of class " << c;
+      seen[node] = true;
+    }
+    EXPECT_EQ(rank, ReplicaTracker::rendezvous_rank(c, 6));
+  }
+}
+
+TEST(ReplicaTracker, InitialHoldersAreFirstRLiveRankedNodes) {
+  ReplicaTracker tracker(4, 2, 8, none_failed(4));
+  EXPECT_EQ(tracker.replication(), 2u);
+  for (std::size_t c = 0; c < 8; ++c) {
+    const std::vector<std::size_t> rank =
+        ReplicaTracker::rendezvous_rank(c, 4);
+    const std::vector<std::size_t> expected(rank.begin(), rank.begin() + 2);
+    EXPECT_EQ(tracker.holders(c), expected) << "class " << c;
+    EXPECT_TRUE(tracker.available(c));
+  }
+  EXPECT_EQ(tracker.total_replicas(), 16u);
+}
+
+TEST(ReplicaTracker, InitialHoldersSkipAlreadyFailedNodes) {
+  // A node dead at the exchange commit never received the multicast, so
+  // it must not count as a holder.
+  std::vector<bool> failed = none_failed(4);
+  failed[ReplicaTracker::rendezvous_rank(0, 4)[0]] = true;
+  ReplicaTracker tracker(4, 1, 1, failed);
+  ASSERT_EQ(tracker.holders(0).size(), 1u);
+  EXPECT_EQ(tracker.holders(0)[0], ReplicaTracker::rendezvous_rank(0, 4)[1]);
+}
+
+TEST(ReplicaTracker, ReplicationZeroMeansFullAndClampsToNodes) {
+  ReplicaTracker full(4, 0, 2, none_failed(4));
+  EXPECT_EQ(full.replication(), 4u);
+  EXPECT_EQ(full.holders(0).size(), 4u);
+  ReplicaTracker clamped(4, 9, 2, none_failed(4));
+  EXPECT_EQ(clamped.replication(), 4u);
+}
+
+TEST(ReplicaTracker, FailureRefillsFromSurvivingHolder) {
+  ReplicaTracker tracker(4, 2, 4, none_failed(4));
+  const std::vector<std::size_t> rank = ReplicaTracker::rendezvous_rank(0, 4);
+  std::vector<bool> failed = none_failed(4);
+  failed[rank[0]] = true;  // kill class 0's first holder
+  const std::vector<ReplicaTransfer> transfers = tracker.on_failures(failed);
+  // Every class that lost a holder is refilled with the next live ranked
+  // node, streamed from its first surviving holder.
+  for (const ReplicaTransfer& transfer : transfers) {
+    EXPECT_NE(transfer.source, transfer.target);
+    EXPECT_FALSE(failed[transfer.source]);
+    EXPECT_FALSE(failed[transfer.target]);
+  }
+  ASSERT_EQ(tracker.holders(0).size(), 2u);
+  EXPECT_EQ(tracker.holders(0)[0], rank[1]);  // surviving holder, source
+  EXPECT_EQ(tracker.holders(0)[1], rank[2]);  // refilled target
+  EXPECT_TRUE(tracker.available(0));
+  // Repeating the identical snapshot schedules nothing new (idempotent).
+  EXPECT_TRUE(tracker.on_failures(failed).empty());
+}
+
+TEST(ReplicaTracker, AllHoldersLostMeansUnavailableAndNoTransfers) {
+  ReplicaTracker tracker(4, 1, 4, none_failed(4));
+  std::vector<bool> failed = none_failed(4);
+  failed[ReplicaTracker::rendezvous_rank(2, 4)[0]] = true;
+  tracker.on_failures(failed);
+  // Class 2's only holder died: the image is gone for good — no refill
+  // (there is no live source to stream from), lineage takes over.
+  EXPECT_FALSE(tracker.available(2));
+  EXPECT_TRUE(tracker.holders(2).empty());
+  // A later, larger snapshot must not resurrect it.
+  failed[(ReplicaTracker::rendezvous_rank(2, 4)[0] + 1) % 4] = true;
+  tracker.on_failures(failed);
+  EXPECT_FALSE(tracker.available(2));
+}
+
+TEST(ReplicaTracker, TotalReplicasTracksLiveHolderCount) {
+  ReplicaTracker tracker(4, 2, 4, none_failed(4));
+  EXPECT_EQ(tracker.total_replicas(), 8u);
+  std::vector<bool> failed = none_failed(4);
+  failed[0] = failed[1] = failed[2] = true;
+  tracker.on_failures(failed);
+  // One survivor left: each class has at most one live holder, and only
+  // if node 3 already held it or a refill was possible (it never is with
+  // no second live source needed — the survivor refills itself when it
+  // was not a holder but some holder survived; with all other nodes dead
+  // a class held only by the dead is simply lost).
+  std::size_t live = 0;
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_LE(tracker.holders(c).size(), 1u);
+    live += tracker.holders(c).size();
+  }
+  EXPECT_EQ(tracker.total_replicas(), live);
+}
+
 }  // namespace
 }  // namespace eclat::parallel

@@ -1,0 +1,219 @@
+// chaos: seeded compound-fault sweeps over the Par-Eclat pipeline.
+//
+//   chaos --sweep=200 --seed0=1            # 200 random compound schedules
+//   chaos --seed=42 --print-plan           # one schedule, dump its text form
+//   chaos --plan-file=fail.plan            # replay a schedule from a file
+//   chaos --sweep=500 --fail-file=bad.plan # save violating plans to a file
+//
+// Every run is checked against the harness contract: byte-identical output
+// to the fault-free reference, or a deterministic expected clean abort —
+// and a second execution of the same plan must reproduce the first.
+// Exit status 0 = every run honored the contract; 1 = at least one
+// violation (the offending plan is printed in replayable text form).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "chaos.hpp"
+#include "common/flags.hpp"
+#include "data/result_io.hpp"
+
+namespace {
+
+using namespace eclat;
+
+struct Violation {
+  std::uint64_t seed;
+  std::string what;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  chaos::ChaosOptions options;
+  options.topology = {flags.get_uint("procs", 2), flags.get_uint("hosts", 2)};
+  options.minsup = static_cast<Count>(flags.get_uint("minsup", 2));
+  options.replication = flags.get_uint("replication", 0);
+  options.speculate = flags.get_bool("speculate", true);
+
+  const HorizontalDatabase db = chaos::chaos_database(
+      flags.get_uint("db-seed", 1997), flags.get_uint("transactions", 200));
+
+  // Fault-free reference: the bytes every completed chaos run must match,
+  // and the makespan that scales the generated windows.
+  const chaos::ChaosRun reference = chaos::run_plan(db, {}, options);
+  if (!reference.completed) {
+    std::fprintf(stderr, "chaos: fault-free reference run failed: %s\n",
+                 reference.error.c_str());
+    return 1;
+  }
+
+  chaos::ChaosKnobs knobs;
+  knobs.total_processors = options.topology.total();
+  knobs.min_events = flags.get_uint("min-events", 1);
+  knobs.max_events = flags.get_uint("max-events", 5);
+  knobs.makespan_hint = reference.makespan;
+  knobs.crashes = flags.get_bool("crashes", true);
+  knobs.hangs = flags.get_bool("hangs", true);
+  knobs.stalls = flags.get_bool("stalls", true);
+  knobs.corruptions = flags.get_bool("corruptions", true);
+  knobs.hub_degrades = flags.get_bool("hub-degrades", true);
+  knobs.partitions = flags.get_bool("partitions", true);
+
+  std::vector<std::pair<std::uint64_t, mc::FaultPlan>> plans;
+  if (flags.has("plan-file")) {
+    const std::string path = flags.get("plan-file", "");
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "chaos: cannot read plan file '%s'\n",
+                   path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    mc::FaultPlan plan = chaos::plan_from_text(text.str());
+    plans.emplace_back(plan.seed, std::move(plan));
+  } else if (flags.has("sweep")) {
+    const std::uint64_t sweep = flags.get_uint("sweep", 200);
+    const std::uint64_t seed0 = flags.get_uint("seed0", 1);
+    for (std::uint64_t s = 0; s < sweep; ++s) {
+      plans.emplace_back(seed0 + s,
+                         chaos::generate_plan(seed0 + s, knobs));
+    }
+  } else {
+    const std::uint64_t seed = flags.get_uint("seed", 42);
+    plans.emplace_back(seed, chaos::generate_plan(seed, knobs));
+  }
+
+  // Debug mode: run the (single) plan N times with traces attached and
+  // report the first event where any run's virtual-time timeline diverges
+  // from the first run's. Localizes a determinism break to its source.
+  if (flags.has("trace-diff")) {
+    const std::uint64_t rounds = flags.get_uint("trace-diff", 8);
+    mc::Trace base_trace;
+    const chaos::ChaosRun base =
+        chaos::run_plan(db, plans.front().second, options, &base_trace);
+    const auto base_events = base_trace.sorted();
+    for (std::uint64_t r = 1; r < rounds; ++r) {
+      mc::Trace trace;
+      const chaos::ChaosRun run =
+          chaos::run_plan(db, plans.front().second, options, &trace);
+      const auto events = trace.sorted();
+      const std::size_t n = std::min(base_events.size(), events.size());
+      std::size_t i = 0;
+      while (i < n && base_events[i].processor == events[i].processor &&
+             base_events[i].time == events[i].time &&
+             base_events[i].kind == events[i].kind &&
+             base_events[i].label == events[i].label &&
+             // kCompute detail is measured host nanoseconds (diagnostic
+             // only; with cpu_scale=0 it never enters virtual time).
+             (base_events[i].kind == mc::TraceKind::kCompute ||
+              base_events[i].detail == events[i].detail)) {
+        ++i;
+      }
+      if (i == base_events.size() && i == events.size() &&
+          run.makespan == base.makespan) {
+        continue;
+      }
+      std::printf("round %llu diverges at event %zu (of %zu vs %zu), "
+                  "makespan %.17g vs %.17g\n",
+                  static_cast<unsigned long long>(r), i, base_events.size(),
+                  events.size(), base.makespan, run.makespan);
+      for (std::size_t j = (i > 6 ? i - 6 : 0);
+           j < std::min(i + 6, n); ++j) {
+        std::printf(
+            "  [%zu] base p%zu t=%.9f %s %s %llu | run p%zu t=%.9f %s %s "
+            "%llu\n",
+            j, base_events[j].processor, base_events[j].time,
+            mc::to_string(base_events[j].kind), base_events[j].label.c_str(),
+            static_cast<unsigned long long>(base_events[j].detail),
+            events[j].processor, events[j].time,
+            mc::to_string(events[j].kind), events[j].label.c_str(),
+            static_cast<unsigned long long>(events[j].detail));
+      }
+      return 1;
+    }
+    std::printf("trace-diff: %llu rounds identical\n",
+                static_cast<unsigned long long>(rounds));
+    return 0;
+  }
+
+  std::vector<Violation> violations;
+  std::size_t completed = 0, aborted = 0;
+  for (const auto& [seed, plan] : plans) {
+    if (flags.get_bool("print-plan", false)) {
+      std::fputs(chaos::plan_to_text(plan).c_str(), stdout);
+    }
+    const chaos::ChaosRun run = chaos::run_plan(db, plan, options);
+    std::string what;
+    if (run.completed) {
+      ++completed;
+      if (run.result_bytes != reference.result_bytes) {
+        what = "completed run diverged from the fault-free reference bytes";
+      }
+    } else if (run.clean_abort) {
+      ++aborted;
+    } else {
+      what = "unexpected abort: " + run.error;
+    }
+    if (what.empty() && flags.get_bool("replay-check", true)) {
+      const chaos::ChaosRun again = chaos::run_plan(db, plan, options);
+      if (again.completed != run.completed) {
+        what = "replay diverged: completed flag";
+      } else if (again.clean_abort != run.clean_abort) {
+        what = "replay diverged: clean_abort flag";
+      } else if (again.error != run.error) {
+        what = "replay diverged: error '" + run.error + "' vs '" +
+               again.error + "'";
+      } else if (again.makespan != run.makespan) {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "replay diverged: makespan %.17g vs %.17g "
+                      "(lineage %llu vs %llu, fenced %llu vs %llu, "
+                      "finished %zu vs %zu, partitioned %zu vs %zu)",
+                      run.makespan, again.makespan,
+                      static_cast<unsigned long long>(run.lineage_rebuilds),
+                      static_cast<unsigned long long>(again.lineage_rebuilds),
+                      static_cast<unsigned long long>(run.fenced_rejections),
+                      static_cast<unsigned long long>(again.fenced_rejections),
+                      run.finished, again.finished, run.partitioned,
+                      again.partitioned);
+        what = buf;
+      } else if (again.result_bytes != run.result_bytes) {
+        what = "replay diverged: result bytes";
+      }
+    }
+    if (!what.empty()) {
+      violations.push_back({seed, what});
+      std::fprintf(stderr, "chaos: seed %llu VIOLATION: %s\n",
+                   static_cast<unsigned long long>(seed), what.c_str());
+      std::fputs(chaos::plan_to_text(plan).c_str(), stderr);
+      // Violating plans also land in --fail-file (replayable with
+      // --plan-file) so a CI soak leg can attach them as artifacts.
+      if (flags.has("fail-file")) {
+        std::ofstream fail(flags.get("fail-file", ""), std::ios::app);
+        fail << "# seed " << seed << ": " << what << "\n"
+             << chaos::plan_to_text(plan) << "\n";
+      }
+    }
+    if (flags.get_bool("verbose", false)) {
+      std::printf(
+          "seed %llu: %s makespan=%.6f finished=%zu crashed=%zu hung=%zu "
+          "partitioned=%zu lineage=%llu fenced=%llu%s%s\n",
+          static_cast<unsigned long long>(seed),
+          run.completed ? "completed" : "aborted ", run.makespan,
+          run.finished, run.crashed, run.hung, run.partitioned,
+          static_cast<unsigned long long>(run.lineage_rebuilds),
+          static_cast<unsigned long long>(run.fenced_rejections),
+          run.error.empty() ? "" : " error=", run.error.c_str());
+    }
+  }
+
+  std::printf(
+      "chaos: %zu plans, %zu completed (byte-checked), %zu clean aborts, "
+      "%zu violations\n",
+      plans.size(), completed, aborted, violations.size());
+  return violations.empty() ? 0 : 1;
+}
