@@ -2,10 +2,11 @@
 // layer. Two sections:
 //
 //   1. Micro: intersection throughput (tids/s) of each kernel on
-//      equal-density pairs over a 64K-tid universe, density swept from
-//      0.1% to 50%. The adaptive threshold (density 1/64) sits inside the
-//      sweep, so kAuto should track the merge kernels on the sparse half
-//      and the bitset word-AND on the dense half.
+//      equal-density pairs over a 256K-tid universe, density swept from
+//      0.1% to 50%. Both adaptive thresholds (chunked entry 1/1024,
+//      dense entry 1/128) sit inside the sweep, so kAuto should track
+//      the merge kernels at the sparse end, the chunked containers in
+//      the mid band, and the bitset word-AND on the dense half.
 //   2. End-to-end: sequential Eclat wall time per kernel on a
 //      T10.I4-style Quest database (avg pattern length 4, N = 1000) and
 //      on a dense variant (N = 64) where the bitset representation
@@ -27,6 +28,7 @@
 #include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "eclat/eclat_seq.hpp"
+#include "vertical/chunked_tidlist.hpp"
 #include "vertical/tidset.hpp"
 
 namespace {
@@ -36,10 +38,10 @@ using namespace eclat;
 constexpr IntersectKernel kAllKernels[] = {
     IntersectKernel::kMerge, IntersectKernel::kMergeShortCircuit,
     IntersectKernel::kGallop, IntersectKernel::kBitset,
-    IntersectKernel::kAuto};
+    IntersectKernel::kChunked, IntersectKernel::kAuto};
 
 constexpr std::string_view kKernelChoices[] = {
-    "all", "merge", "short-circuit", "gallop", "bitset", "auto"};
+    "all", "merge", "short-circuit", "gallop", "bitset", "chunked", "auto"};
 
 /// Random sorted tid-list over [0, universe) with the given density.
 TidList random_tidlist(Rng& rng, Tid universe, double density) {
@@ -51,24 +53,45 @@ TidList random_tidlist(Rng& rng, Tid universe, double density) {
   return tids;
 }
 
-/// Tids per second of repeated a ∩ b through the dispatched kernel,
-/// timed over enough repetitions to fill ~50 ms of wall clock.
+/// Tids per second of the recursion's steady-state intersection pattern
+/// through the dispatched kernel, timed over enough repetitions to fill
+/// ~50 ms of wall clock.
+///
+/// Each timed iteration is one parent join plus one reuse of its child
+/// (c = a ∩ b, then c ∩ a), matching how the mining recursion treats a
+/// materialized tid-list: every committed child is intersected again at
+/// the next level. A discard-the-result loop would charge kAuto's
+/// result normalization on every call while never crediting the cheaper
+/// representation it buys — the chained shape prices both sides, and the
+/// per-iteration tid count (|a|+|b| plus |c|+|a|) is identical across
+/// kernels, so the ratios stay comparable. When the child comes up
+/// empty the reuse leg drops out (nothing to intersect), again
+/// identically for every kernel.
 double intersect_throughput(const TidList& a, const TidList& b, Tid universe,
                             IntersectKernel kernel) {
   TidSet sa;
   TidSet sb;
-  TidSet out;
+  TidSet child;
+  TidSet grandchild;
   seed_tidset(a, universe, kernel, sa, nullptr);
   seed_tidset(b, universe, kernel, sb, nullptr);
-  const double tids_per_call = static_cast<double>(a.size() + b.size());
+  double tids_per_call = static_cast<double>(a.size() + b.size());
 
-  // Warm up (first call sizes the output buffers), then calibrate.
-  intersect_into(sa, sb, 1, kernel, universe, out, nullptr);
+  // Warm up (first calls size the output buffers), then calibrate.
+  const bool reuse =
+      intersect_into(sa, sb, 1, kernel, universe, child, nullptr);
+  if (reuse) {
+    tids_per_call += static_cast<double>(child.support() + a.size());
+    intersect_into(child, sa, 1, kernel, universe, grandchild, nullptr);
+  }
   std::size_t reps = 1;
   for (;;) {
     WallStopwatch watch;
     for (std::size_t r = 0; r < reps; ++r) {
-      intersect_into(sa, sb, 1, kernel, universe, out, nullptr);
+      intersect_into(sa, sb, 1, kernel, universe, child, nullptr);
+      if (reuse) {
+        intersect_into(child, sa, 1, kernel, universe, grandchild, nullptr);
+      }
     }
     const double seconds = watch.elapsed_seconds();
     if (seconds >= 0.05) {
@@ -80,8 +103,52 @@ double intersect_throughput(const TidList& a, const TidList& b, Tid universe,
 
 struct MicroRow {
   double density = 0.0;
+  double skew = 1.0;  ///< |longer| / |shorter| for the skewed-pair sweep
   double tids_per_second[std::size(kAllKernels)] = {};
+  ChunkedTidList::ContainerHistogram chunks;  ///< operand a's containers
+  /// Fastest single (non-auto) kernel in this band.
+  const char* winner = "";
+  double winner_tps = 0.0;
 };
+
+/// Index of kAuto in kAllKernels (last entry).
+constexpr std::size_t kAutoIndex = std::size(kAllKernels) - 1;
+
+void finish_row(MicroRow& row) {
+  for (std::size_t k = 0; k < std::size(kAllKernels); ++k) {
+    if (k == kAutoIndex) continue;
+    if (row.tids_per_second[k] > row.winner_tps) {
+      row.winner_tps = row.tids_per_second[k];
+      row.winner = kernel_name(kAllKernels[k]);
+    }
+  }
+}
+
+void print_row(const MicroRow& row, const char* label) {
+  std::printf("%-9s |", label);
+  for (std::size_t k = 0; k < std::size(kAllKernels); ++k) {
+    std::printf(" %13.1f", row.tids_per_second[k] * 1e-6);
+  }
+  const double autok = row.tids_per_second[kAutoIndex];
+  if (row.winner_tps > 0 && autok > 0) {
+    std::printf(" | %s %.2fx", row.winner, autok / row.winner_tps);
+  }
+  std::printf("\n");
+}
+
+void write_micro_row(std::FILE* out, const MicroRow& row, bool last) {
+  std::fprintf(out, "    {\"density\": %g, \"skew\": %g", row.density,
+               row.skew);
+  for (std::size_t k = 0; k < std::size(kAllKernels); ++k) {
+    std::fprintf(out, ", \"%s\": %.0f", kernel_name(kAllKernels[k]),
+                 row.tids_per_second[k]);
+  }
+  std::fprintf(out,
+               ", \"winner\": \"%s\", \"chunk_containers\": "
+               "{\"array\": %zu, \"bitset\": %zu, \"run\": %zu}}%s\n",
+               row.winner, row.chunks.array, row.chunks.bitset,
+               row.chunks.run, last ? "" : ",");
+}
 
 struct EndToEndRow {
   std::string database;
@@ -132,27 +199,27 @@ int main(int argc, char** argv) {
   const double support = flags.get_double("support", 0.0025);
   const bool write_json = flags.get_bool("json", true);
 
-  // ---- Micro: density sweep over a 64K universe ------------------------
-  constexpr Tid kUniverse = 1 << 16;
-  constexpr double kDensities[] = {0.001, 0.004, 0.016, 0.0625,
-                                   0.1,   0.25,  0.5};
+  // ---- Micro: density sweep over a 256K universe (4 chunks) ------------
+  // The grid brackets every representation boundary: the chunked entry
+  // threshold (1/1024 ≈ 0.001), the dense entry (1/128 ≈ 0.008), and the
+  // mid band (0.016–0.0625) where the result of a dense AND leaves the
+  // dense stay band and the conversion discipline is priced.
+  constexpr Tid kUniverse = 1 << 18;
+  constexpr double kDensities[] = {0.001, 0.002, 0.004,  0.008, 0.016, 0.03,
+                                   0.045, 0.0625, 0.1,   0.25,  0.5};
 
-  std::printf("Intersection throughput (Mtids/s), universe %u\n", kUniverse);
-  print_rule('=', 96);
+  std::printf("Intersection throughput (Mtids/s), universe %u [%s]\n",
+              kUniverse, simd::isa_name(simd::kernels().level));
+  print_rule('=', 120);
   std::printf("%-9s |", "density");
   for (IntersectKernel kernel : kAllKernels) {
     std::printf(" %13s", kernel_name(kernel));
   }
-  std::printf(" | auto/merge\n");
-  print_rule('-', 96);
+  std::printf(" | auto vs best\n");
+  print_rule('-', 120);
 
-  std::vector<MicroRow> micro;
-  for (double density : kDensities) {
-    Rng rng(42);
-    const TidList a = random_tidlist(rng, kUniverse, density);
-    const TidList b = random_tidlist(rng, kUniverse, density);
-    MicroRow row;
-    row.density = density;
+  const auto fill_row = [&](MicroRow& row, const TidList& a,
+                            const TidList& b) {
     for (std::size_t k = 0; k < std::size(kAllKernels); ++k) {
       if (kernel_filter != "all" &&
           kernel_filter != kernel_name(kAllKernels[k])) {
@@ -161,19 +228,49 @@ int main(int argc, char** argv) {
       row.tids_per_second[k] =
           intersect_throughput(a, b, kUniverse, kAllKernels[k]);
     }
-    std::printf("%-9g |", density);
-    for (std::size_t k = 0; k < std::size(kAllKernels); ++k) {
-      std::printf(" %13.1f", row.tids_per_second[k] * 1e-6);
-    }
-    const double merge = row.tids_per_second[0];
-    const double autok = row.tids_per_second[4];
-    if (merge > 0 && autok > 0) {
-      std::printf(" | %9.2fx", autok / merge);
-    }
-    std::printf("\n");
+    ChunkedTidList chunks;
+    chunks.assign(a, kUniverse);
+    row.chunks = chunks.histogram();
+    finish_row(row);
+  };
+
+  std::vector<MicroRow> micro;
+  for (double density : kDensities) {
+    Rng rng(42);
+    const TidList a = random_tidlist(rng, kUniverse, density);
+    const TidList b = random_tidlist(rng, kUniverse, density);
+    MicroRow row;
+    row.density = density;
+    fill_row(row, a, b);
+    char label[32];
+    std::snprintf(label, sizeof label, "%g", density);
+    print_row(row, label);
     micro.push_back(row);
   }
-  print_rule('-', 96);
+  print_rule('-', 120);
+
+  // ---- Micro: skewed pairs (one list much shorter than the other) ------
+  // Fixed longer-side density 0.0625, shorter side 1x / 32x / 256x
+  // smaller: the regime where galloping and per-element probing beat any
+  // full scan of the longer operand.
+  std::printf("Skewed pairs, longer side density 0.0625\n");
+  print_rule('-', 120);
+  std::vector<MicroRow> skew_rows;
+  for (double ratio : {1.0, 32.0, 256.0}) {
+    Rng rng(43);
+    const double dense_side = 0.0625;
+    const TidList a = random_tidlist(rng, kUniverse, dense_side / ratio);
+    const TidList b = random_tidlist(rng, kUniverse, dense_side);
+    MicroRow row;
+    row.density = dense_side;
+    row.skew = ratio;
+    fill_row(row, a, b);
+    char label[32];
+    std::snprintf(label, sizeof label, "1:%g", ratio);
+    print_row(row, label);
+    skew_rows.push_back(row);
+  }
+  print_rule('-', 120);
 
   // ---- End-to-end: sequential Eclat per kernel -------------------------
   std::vector<EndToEndRow> runs;
@@ -210,13 +307,11 @@ int main(int argc, char** argv) {
                  "  \"universe\": %u,\n  \"micro_tids_per_second\": [\n",
                  kUniverse);
     for (std::size_t i = 0; i < micro.size(); ++i) {
-      const MicroRow& row = micro[i];
-      std::fprintf(out, "    {\"density\": %g", row.density);
-      for (std::size_t k = 0; k < std::size(kAllKernels); ++k) {
-        std::fprintf(out, ", \"%s\": %.0f", kernel_name(kAllKernels[k]),
-                     row.tids_per_second[k]);
-      }
-      std::fprintf(out, "}%s\n", i + 1 < micro.size() ? "," : "");
+      write_micro_row(out, micro[i], i + 1 == micro.size());
+    }
+    std::fprintf(out, "  ],\n  \"micro_skewed_tids_per_second\": [\n");
+    for (std::size_t i = 0; i < skew_rows.size(); ++i) {
+      write_micro_row(out, skew_rows[i], i + 1 == skew_rows.size());
     }
     std::fprintf(out, "  ],\n  \"end_to_end_seconds\": [\n");
     for (std::size_t i = 0; i < runs.size(); ++i) {

@@ -18,6 +18,7 @@
 #include "data/horizontal.hpp"
 #include "gen/quest.hpp"
 #include "mc/topology.hpp"
+#include "vertical/simd/dispatch.hpp"
 
 namespace eclat::bench {
 
@@ -79,12 +80,22 @@ inline void print_rule(char fill = '-', int width = 78) {
 ///             simulator, "wall" for native runs);
 ///   bench_wall_seconds — host wall clock of the whole bench run, so even
 ///             virtual-time trajectories carry a real-time anchor.
+/// CPU feature honesty: every header also records what the build host
+/// offers (cpu_avx2 / cpu_avx512bw) and which kernel table the runtime
+/// dispatcher actually selected (simd_dispatch, which ECLAT_FORCE_SCALAR
+/// pins to "scalar"), so a number can never be mistaken for having run on
+/// a wider ISA than it did.
 inline void write_backend_fields(std::FILE* out, const char* backend,
                                  const char* timing, double wall_seconds) {
   std::fprintf(out,
                "  \"backend\": \"%s\",\n  \"timing\": \"%s\",\n"
-               "  \"bench_wall_seconds\": %.3f,\n",
-               backend, timing, wall_seconds);
+               "  \"bench_wall_seconds\": %.3f,\n"
+               "  \"cpu_avx2\": %s,\n  \"cpu_avx512bw\": %s,\n"
+               "  \"simd_dispatch\": \"%s\",\n",
+               backend, timing, wall_seconds,
+               simd::cpu_has_avx2() ? "true" : "false",
+               simd::cpu_has_avx512bw() ? "true" : "false",
+               simd::isa_name(simd::kernels().level));
 }
 
 }  // namespace eclat::bench

@@ -27,6 +27,7 @@ par::ParallelOutput mine_with_stats(const HorizontalDatabase& db,
       par::ParallelOutput output;
       EclatConfig config;
       config.minsup = minsup;
+      config.kernel = options.kernel;
       output.result = eclat_sequential(db, config);
       return output;
     }
@@ -34,6 +35,7 @@ par::ParallelOutput mine_with_stats(const HorizontalDatabase& db,
       par::ParallelOutput output;
       EclatConfig config;
       config.minsup = minsup;
+      config.kernel = options.kernel;
       config.use_diffsets = true;
       output.result = eclat_sequential(db, config);
       return output;
@@ -62,6 +64,7 @@ par::ParallelOutput mine_with_stats(const HorizontalDatabase& db,
     case Algorithm::kParEclat: {
       par::ParEclatConfig config;
       config.minsup = minsup;
+      config.kernel = options.kernel;
       config.replication = options.replication;
       const exec::ThreadBackendOptions thread_options{options.exec_threads,
                                                       options.exec_scheduler};
@@ -74,6 +77,7 @@ par::ParallelOutput mine_with_stats(const HorizontalDatabase& db,
       mc::Cluster cluster(options.topology, options.cost);
       par::ParEclatConfig config;
       config.minsup = minsup;
+      config.kernel = options.kernel;
       return par::hybrid_eclat(cluster, db, config);
     }
     case Algorithm::kCountDistribution: {

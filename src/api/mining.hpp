@@ -35,6 +35,11 @@ struct MineOptions {
   Algorithm algorithm = Algorithm::kEclat;
   /// Relative minimum support (0.001 = the paper's 0.1%).
   double min_support = 0.01;
+  /// Intersection kernel for the Eclat-family algorithms (kEclat,
+  /// kEclatDiffsets, kParEclat, kHybridEclat); Apriori-family algorithms
+  /// ignore it. See kernel_from_name for the flag spellings
+  /// ("merge", "short-circuit", "gallop", "bitset", "chunked", "auto").
+  IntersectKernel kernel = IntersectKernel::kMergeShortCircuit;
   /// Cluster shape for the parallel algorithms; ignored by sequential ones.
   mc::Topology topology{1, 1};
   mc::CostModel cost;

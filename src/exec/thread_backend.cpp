@@ -18,6 +18,7 @@
 #include "exec/steal_deque.hpp"
 #include "parallel/parallel_common.hpp"
 #include "parallel/pipeline.hpp"
+#include "vertical/simd/dispatch.hpp"
 #include "vertical/vertical_db.hpp"
 
 namespace eclat::exec {
@@ -54,6 +55,12 @@ void parallel_region(std::size_t workers, Body&& body) {
 par::ParallelOutput ThreadBackend::mine(const HorizontalDatabase& db,
                                         const par::ParEclatConfig& config) {
   const std::size_t W = threads_;
+  // Resolve the SIMD kernel table once on the coordinating thread (the
+  // cpuid probe and ECLAT_FORCE_SCALAR read live behind magic statics,
+  // so workers then only load a settled pointer) and cross-check every
+  // dispatched kernel against the scalar reference before any worker
+  // mines with it.
+  simd::self_check();
   // Same block partition as the simulator path: Topology{1, W} makes
   // local_partition split the database into W equal contiguous blocks,
   // so per-block partial tid-lists concatenated in block order are

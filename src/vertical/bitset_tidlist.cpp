@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/check.hpp"
+#include "vertical/simd/dispatch.hpp"
 
 namespace eclat {
 
@@ -12,6 +13,14 @@ namespace {
 constexpr std::size_t word_count_for(Tid universe) {
   return (static_cast<std::size_t>(universe) + 63) / 64;
 }
+
+/// Words per short-circuit bound check. The word kernels come from the
+/// runtime-dispatched SIMD table, so the AND runs in blocks and the
+/// abort bound is evaluated between them. The bound is a proof (count +
+/// 64·remaining < minsup implies the final count misses minsup), so
+/// checking it at block granularity never changes the boolean outcome —
+/// only how many words an abort scans first.
+constexpr std::size_t kBoundBlockWords = 64;
 
 }  // namespace
 
@@ -33,14 +42,12 @@ void BitsetTidList::reset(Tid universe) {
 }
 
 void BitsetTidList::append_to(TidList& out) const {
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    std::uint64_t word = words_[w];
-    while (word != 0) {
-      const int bit = std::countr_zero(word);
-      out.push_back(static_cast<Tid>(w * 64 + static_cast<std::size_t>(bit)));
-      word &= word - 1;  // clear lowest set bit
-    }
-  }
+  const std::size_t old = out.size();
+  out.resize(old + count_);
+  const std::size_t decoded = simd::kernels().decode_words(
+      words_.data(), words_.size(), 0, out.data() + old);
+  ECLAT_DCHECK(decoded == count_);
+  (void)decoded;
 }
 
 TidList BitsetTidList::to_tidlist() const {
@@ -56,12 +63,8 @@ std::size_t BitsetTidList::assign_and(const BitsetTidList& a,
   universe_ = a.universe_;
   const std::size_t n = std::min(a.words_.size(), b.words_.size());
   words_.resize(n);
-  std::size_t count = 0;
-  for (std::size_t w = 0; w < n; ++w) {
-    const std::uint64_t word = a.words_[w] & b.words_[w];
-    words_[w] = word;
-    count += static_cast<std::size_t>(std::popcount(word));
-  }
+  const std::size_t count = static_cast<std::size_t>(simd::kernels().and_words(
+      a.words_.data(), b.words_.data(), words_.data(), n));
   count_ = count;
   return count;
 }
@@ -76,15 +79,16 @@ bool BitsetTidList::assign_and_bounded(const BitsetTidList& a,
   universe_ = a.universe_;
   const std::size_t n = std::min(a.words_.size(), b.words_.size());
   words_.resize(n);
+  const simd::KernelTable& kt = simd::kernels();
   std::size_t count = 0;
-  for (std::size_t w = 0; w < n; ++w) {
-    const std::uint64_t word = a.words_[w] & b.words_[w];
-    words_[w] = word;
-    count += static_cast<std::size_t>(std::popcount(word));
+  for (std::size_t w = 0; w < n; w += kBoundBlockWords) {
+    const std::size_t k = std::min(kBoundBlockWords, n - w);
+    count += static_cast<std::size_t>(kt.and_words(
+        a.words_.data() + w, b.words_.data() + w, words_.data() + w, k));
     // Even if every remaining bit survives the AND, the result caps at
     // count + 64 * (words remaining); abort once that drops below minsup.
-    if (count + 64 * (n - 1 - w) < minsup) {
-      if (words_scanned != nullptr) *words_scanned += w + 1;
+    if (count + 64 * (n - w - k) < minsup) {
+      if (words_scanned != nullptr) *words_scanned += w + k;
       return false;
     }
   }
@@ -99,12 +103,14 @@ std::optional<std::size_t> BitsetTidList::and_count(
   ECLAT_DCHECK(a.universe_ == b.universe_);
   if (std::min(a.count_, b.count_) < minsup) return std::nullopt;
   const std::size_t n = std::min(a.words_.size(), b.words_.size());
+  const simd::KernelTable& kt = simd::kernels();
   std::size_t count = 0;
-  for (std::size_t w = 0; w < n; ++w) {
+  for (std::size_t w = 0; w < n; w += kBoundBlockWords) {
+    const std::size_t k = std::min(kBoundBlockWords, n - w);
     count += static_cast<std::size_t>(
-        std::popcount(a.words_[w] & b.words_[w]));
-    if (count + 64 * (n - 1 - w) < minsup) {
-      if (words_scanned != nullptr) *words_scanned += w + 1;
+        kt.and_words(a.words_.data() + w, b.words_.data() + w, nullptr, k));
+    if (count + 64 * (n - w - k) < minsup) {
+      if (words_scanned != nullptr) *words_scanned += w + k;
       return std::nullopt;
     }
   }
@@ -121,13 +127,14 @@ bool BitsetTidList::assign_andnot_bounded(const BitsetTidList& a,
   universe_ = a.universe_;
   const std::size_t n = a.words_.size();
   words_.resize(n);
+  const simd::KernelTable& kt = simd::kernels();
   std::size_t count = 0;
-  for (std::size_t w = 0; w < n; ++w) {
-    const std::uint64_t word = a.words_[w] & ~b.words_[w];
-    words_[w] = word;
-    count += static_cast<std::size_t>(std::popcount(word));
+  for (std::size_t w = 0; w < n; w += kBoundBlockWords) {
+    const std::size_t k = std::min(kBoundBlockWords, n - w);
+    count += static_cast<std::size_t>(kt.andnot_words(
+        a.words_.data() + w, b.words_.data() + w, words_.data() + w, k));
     if (count > budget) {
-      if (words_scanned != nullptr) *words_scanned += w + 1;
+      if (words_scanned != nullptr) *words_scanned += w + k;
       return false;
     }
   }

@@ -4,7 +4,7 @@
 // tids per byte, and the compiler vectorizes the loop (see ECLAT_NATIVE).
 // This is the "vertical bitmap" kernel of the many-core FIM literature
 // (PAPERS.md: Zymbler), profitable once a list's density over the universe
-// exceeds ~1/64 (see TidSet for the adaptive selection rule).
+// exceeds ~1/128 (see TidSet for the adaptive selection rule).
 #pragma once
 
 #include <cstdint>
@@ -76,6 +76,24 @@ class BitsetTidList {
   bool assign_minus_sparse(const BitsetTidList& a, std::span<const Tid> tids,
                            std::size_t budget,
                            std::uint64_t* words_scanned);
+
+  // ---- Kernel staging access (the chunked container's conversion and
+  // mixed-representation kernels write this bitmap directly): callers
+  // that mutate the word buffer must restore the count/word invariant
+  // with set_count before the object is used as a tid-list again. ----
+
+  /// The flat word buffer, mutable.
+  std::span<std::uint64_t> mutable_words() { return words_; }
+
+  /// Overwrite the cached popcount after direct word mutation.
+  void set_count(std::size_t count) { count_ = count; }
+
+  /// this = src (words, universe, count), reusing this object's buffer.
+  void assign_copy(const BitsetTidList& src) {
+    universe_ = src.universe_;
+    words_ = src.words_;
+    count_ = src.count_;
+  }
 
   friend bool operator==(const BitsetTidList&,
                          const BitsetTidList&) = default;

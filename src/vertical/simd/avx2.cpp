@@ -1,0 +1,287 @@
+// AVX2 + SSE4.2 kernels. This translation unit is compiled with
+// -mavx2 (see src/vertical/CMakeLists.txt) when the compiler supports
+// it; the dispatcher only installs this table after CPUID confirms the
+// host executes AVX2, so the binary stays runnable on older machines.
+//
+// Word kernels: 256-bit AND / ANDNOT with the Mula nibble-LUT popcount
+// (no hardware VPOPCNT below AVX-512, so popcount via PSHUFB is the
+// fastest portable-AVX2 reduction). Sparse kernels: the classic
+// STTNI block intersection — _mm_cmpestrm compares each 8×u16 block of
+// one list against a block of the other in a single instruction, and a
+// 256-entry shuffle table compresses the match mask into the output.
+// _mm_cmpestrm (explicit length), NOT _mm_cmpistrm: the implicit-length
+// form treats the value 0 as a terminator and tid 0 is a valid tid.
+#if defined(__AVX2__) && defined(__SSE4_2__)
+#include <immintrin.h>
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#endif
+
+#include "vertical/simd/kernels_internal.hpp"
+
+namespace eclat::simd::detail {
+
+#if defined(__AVX2__) && defined(__SSE4_2__)
+
+namespace {
+
+std::uint64_t hsum_epi64(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  const __m128i sum = _mm_add_epi64(lo, hi);
+  return static_cast<std::uint64_t>(_mm_extract_epi64(sum, 0)) +
+         static_cast<std::uint64_t>(_mm_extract_epi64(sum, 1));
+}
+
+/// Per-byte popcount of v via two 16-entry nibble lookups (Mula).
+__m256i popcount_epu8(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,  //
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  return _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                         _mm256_shuffle_epi8(lut, hi));
+}
+
+template <bool kNot>
+std::uint64_t and_words_impl(const std::uint64_t* a, const std::uint64_t* b,
+                             std::uint64_t* out, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    // andnot computes (~first) & second, so the operand order flips.
+    const __m256i v =
+        kNot ? _mm256_andnot_si256(vb, va) : _mm256_and_si256(va, vb);
+    if (out != nullptr) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+    }
+    // Byte counts fit u8 (max 8 per byte); SAD against zero folds each
+    // 8-byte lane into a u64 without overflow at any n.
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(popcount_epu8(v), zero));
+  }
+  std::uint64_t count = hsum_epi64(acc);
+  for (; i < n; ++i) {
+    const std::uint64_t v = kNot ? (a[i] & ~b[i]) : (a[i] & b[i]);
+    if (out != nullptr) out[i] = v;
+    count += static_cast<std::uint64_t>(std::popcount(v));
+  }
+  return count;
+}
+
+std::uint64_t avx2_and_words(const std::uint64_t* a, const std::uint64_t* b,
+                             std::uint64_t* out, std::size_t n) {
+  return and_words_impl<false>(a, b, out, n);
+}
+
+std::uint64_t avx2_andnot_words(const std::uint64_t* a, const std::uint64_t* b,
+                                std::uint64_t* out, std::size_t n) {
+  return and_words_impl<true>(a, b, out, n);
+}
+
+/// mask (8 bits, one per u16 lane) -> PSHUFB control compressing the
+/// selected lanes to the front, 0xff elsewhere.
+constexpr std::array<std::array<std::uint8_t, 16>, 256> make_compress_table() {
+  std::array<std::array<std::uint8_t, 16>, 256> table{};
+  for (std::size_t mask = 0; mask < 256; ++mask) {
+    std::size_t pos = 0;
+    for (std::size_t lane = 0; lane < 8; ++lane) {
+      if ((mask >> lane & 1U) != 0) {
+        table[mask][pos * 2] = static_cast<std::uint8_t>(lane * 2);
+        table[mask][pos * 2 + 1] = static_cast<std::uint8_t>(lane * 2 + 1);
+        ++pos;
+      }
+    }
+    for (; pos < 8; ++pos) {
+      table[mask][pos * 2] = 0xff;
+      table[mask][pos * 2 + 1] = 0xff;
+    }
+  }
+  return table;
+}
+
+constexpr auto kCompressU16 = make_compress_table();
+
+template <bool kCount>
+std::size_t intersect_u16_impl(const std::uint16_t* a, std::size_t na,
+                               const std::uint16_t* b, std::size_t nb,
+                               std::uint16_t* out, std::size_t* visited) {
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  std::size_t k = 0;
+  constexpr int kMode = _SIDD_UWORD_OPS | _SIDD_CMP_EQUAL_ANY | _SIDD_BIT_MASK;
+  while (ia + 8 <= na && ib + 8 <= nb) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + ia));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + ib));
+    const __m128i match = _mm_cmpestrm(va, 8, vb, 8, kMode);
+    const unsigned mask =
+        static_cast<unsigned>(_mm_extract_epi32(match, 0)) & 0xffU;
+    if constexpr (!kCount) {
+      // Compress the matched lanes of vb to the front and store all 16
+      // bytes; the table contract gives `out` 8 lanes of slack past the
+      // true result, so the overwrite beyond k + popcount is harmless.
+      const __m128i shuf = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(kCompressU16[mask].data()));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + k),
+                       _mm_shuffle_epi8(vb, shuf));
+    }
+    k += static_cast<std::size_t>(std::popcount(mask));
+    // Advance whichever block has the smaller maximum; both lists are
+    // strictly increasing, so every element of the retired block has
+    // been compared against everything that could still equal it.
+    const std::uint16_t amax = a[ia + 7];
+    const std::uint16_t bmax = b[ib + 7];
+    if (amax <= bmax) ia += 8;
+    if (bmax <= amax) ib += 8;
+  }
+  // Scalar merge over the remainder (under 8 elements on one side).
+  while (ia < na && ib < nb) {
+    if (a[ia] < b[ib]) {
+      ++ia;
+    } else if (b[ib] < a[ia]) {
+      ++ib;
+    } else {
+      if constexpr (!kCount) out[k] = a[ia];
+      ++k;
+      ++ia;
+      ++ib;
+    }
+  }
+  if (visited != nullptr) *visited += ia + ib;
+  return k;
+}
+
+std::size_t avx2_intersect_u16(const std::uint16_t* a, std::size_t na,
+                               const std::uint16_t* b, std::size_t nb,
+                               std::uint16_t* out, std::size_t* visited) {
+  return intersect_u16_impl<false>(a, na, b, nb, out, visited);
+}
+
+std::size_t avx2_intersect_u16_count(const std::uint16_t* a, std::size_t na,
+                                     const std::uint16_t* b, std::size_t nb,
+                                     std::size_t* visited) {
+  return intersect_u16_impl<true>(a, na, b, nb, nullptr, visited);
+}
+
+/// First index in [lo, nl) with large[index] >= target. Doubling probes
+/// bracket the gap, binary search narrows it to <= 32 elements, and an
+/// 8-wide compare scan finds the boundary inside the final window. The
+/// sign-bit flip turns the signed epi32 compare into an unsigned one.
+std::size_t avx2_lower_bound_u32(const std::uint32_t* large, std::size_t nl,
+                                 std::size_t lo, std::uint32_t target,
+                                 std::size_t* probes) {
+  std::size_t step = 1;
+  std::size_t hi = lo;
+  while (hi < nl && large[hi] < target) {
+    if (probes != nullptr) ++*probes;
+    lo = hi + 1;
+    hi += step;
+    step *= 2;
+  }
+  hi = std::min(hi, nl);
+  std::size_t width = hi - lo;
+  while (width > 32) {
+    if (probes != nullptr) ++*probes;
+    const std::size_t half = width / 2;
+    if (large[lo + half] < target) {
+      lo += half + 1;
+      width -= half + 1;
+    } else {
+      width = half;
+    }
+  }
+  const __m256i sign = _mm256_set1_epi32(static_cast<int>(0x80000000U));
+  const __m256i vt = _mm256_xor_si256(
+      _mm256_set1_epi32(static_cast<int>(target)), sign);
+  while (width >= 8) {
+    if (probes != nullptr) ++*probes;
+    const __m256i v = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(large + lo)),
+        sign);
+    // Lane mask of large[lo + lane] < target; sortedness makes it a
+    // prefix of ones, so countr_one is the in-window lower bound.
+    const unsigned less = static_cast<unsigned>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpgt_epi32(vt, v))));
+    if (less != 0xffU) return lo + std::countr_one(less);
+    lo += 8;
+    width -= 8;
+  }
+  while (width > 0 && large[lo] < target) {
+    if (probes != nullptr) ++*probes;
+    ++lo;
+    --width;
+  }
+  return lo;
+}
+
+template <bool kCount>
+std::size_t gallop_u32_impl(const std::uint32_t* small, std::size_t ns,
+                            const std::uint32_t* large, std::size_t nl,
+                            std::uint32_t* out, std::size_t* visited) {
+  std::size_t j = 0;
+  std::size_t k = 0;
+  std::size_t scanned = 0;
+  std::size_t* probes = visited != nullptr ? &scanned : nullptr;
+  for (std::size_t i = 0; i < ns; ++i) {
+    ++scanned;
+    j = avx2_lower_bound_u32(large, nl, j, small[i], probes);
+    if (j == nl) break;
+    if (large[j] == small[i]) {
+      if constexpr (!kCount) out[k] = small[i];
+      ++k;
+      ++j;
+    }
+  }
+  if (visited != nullptr) *visited += scanned;
+  return k;
+}
+
+std::size_t avx2_gallop_u32(const std::uint32_t* small, std::size_t ns,
+                            const std::uint32_t* large, std::size_t nl,
+                            std::uint32_t* out, std::size_t* visited) {
+  return gallop_u32_impl<false>(small, ns, large, nl, out, visited);
+}
+
+std::size_t avx2_gallop_u32_count(const std::uint32_t* small, std::size_t ns,
+                                  const std::uint32_t* large, std::size_t nl,
+                                  std::size_t* visited) {
+  return gallop_u32_impl<true>(small, ns, large, nl, nullptr, visited);
+}
+
+}  // namespace
+
+const KernelTable& avx2_table() {
+  static const KernelTable table = {
+      .level = IsaLevel::kAvx2,
+      .and_words = &avx2_and_words,
+      .andnot_words = &avx2_andnot_words,
+      .intersect_u16 = &avx2_intersect_u16,
+      .intersect_u16_count = &avx2_intersect_u16_count,
+      .gallop_u32 = &avx2_gallop_u32,
+      .gallop_u32_count = &avx2_gallop_u32_count,
+      // No AVX2 bit-position compress instruction exists (vpcompressd is
+      // AVX-512); the zero-skipping scalar decode is the best fit here.
+      .decode_words = &scalar_decode_words,
+  };
+  return table;
+}
+
+#else  // !(__AVX2__ && __SSE4_2__)
+
+// Compiled without AVX2 codegen support: serve the scalar table (its
+// level field tells the dispatcher the vector path is unavailable).
+const KernelTable& avx2_table() { return scalar_table(); }
+
+#endif
+
+}  // namespace eclat::simd::detail

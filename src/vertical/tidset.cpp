@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "vertical/simd/dispatch.hpp"
 
 namespace eclat {
 
@@ -12,10 +13,56 @@ namespace {
 /// is this many times shorter than the other.
 constexpr std::size_t kGallopSkew = 32;
 
-/// sparse ∩ dense by probing the bitset per sparse element, with the
-/// support bound |result| <= matched + sparse elements remaining.
-/// Returns false iff provably below minsup.
-bool probe_into(std::span<const Tid> sparse, const BitsetTidList& dense,
+bool sparse_pair_skewed(std::size_t a, std::size_t b) {
+  return std::min(a, b) * kGallopSkew < std::max(a, b);
+}
+
+void count_simd_words(IntersectStats* stats) {
+  if (stats != nullptr &&
+      simd::kernels().level != simd::IsaLevel::kScalar) {
+    ++stats->simd_word_calls;
+  }
+}
+
+void count_simd_sparse(IntersectStats* stats) {
+  if (stats != nullptr &&
+      simd::kernels().level != simd::IsaLevel::kScalar) {
+    ++stats->simd_sparse_calls;
+  }
+}
+
+/// Galloping sparse∩sparse through the dispatched kernel table.
+void gallop_into_dispatch(std::span<const Tid> a, std::span<const Tid> b,
+                          TidList& out, std::size_t* visited,
+                          IntersectStats* stats) {
+  const std::span<const Tid> small = a.size() <= b.size() ? a : b;
+  const std::span<const Tid> large = a.size() <= b.size() ? b : a;
+  out.clear();
+  out.resize(small.size());
+  const std::size_t k =
+      simd::kernels().gallop_u32(small.data(), small.size(), large.data(),
+                                 large.size(), out.data(), visited);
+  out.resize(k);
+  count_simd_sparse(stats);
+}
+
+/// Support-only gallop through the dispatched kernel table.
+Count gallop_count_dispatch(std::span<const Tid> a, std::span<const Tid> b,
+                            std::size_t* visited, IntersectStats* stats) {
+  const std::span<const Tid> small = a.size() <= b.size() ? a : b;
+  const std::span<const Tid> large = a.size() <= b.size() ? b : a;
+  count_simd_sparse(stats);
+  return simd::kernels().gallop_u32_count(small.data(), small.size(),
+                                          large.data(), large.size(),
+                                          visited);
+}
+
+/// sparse ∩ denser-side by probing per sparse element (works against the
+/// flat bitmap and the chunked container alike), with the support bound
+/// |result| <= matched + sparse elements remaining. Returns false iff
+/// provably below minsup.
+template <typename DenseLike>
+bool probe_into(std::span<const Tid> sparse, const DenseLike& dense,
                 Count minsup, TidList& out, IntersectStats* stats) {
   if (std::min<std::size_t>(sparse.size(), dense.count()) < minsup) {
     if (stats != nullptr) {
@@ -45,8 +92,9 @@ bool probe_into(std::span<const Tid> sparse, const BitsetTidList& dense,
 }
 
 /// Support-only probe.
+template <typename DenseLike>
 std::optional<Count> probe_count(std::span<const Tid> sparse,
-                                 const BitsetTidList& dense, Count minsup,
+                                 const DenseLike& dense, Count minsup,
                                  IntersectStats* stats) {
   if (std::min<std::size_t>(sparse.size(), dense.count()) < minsup) {
     if (stats != nullptr) {
@@ -75,51 +123,29 @@ std::optional<Count> probe_count(std::span<const Tid> sparse,
   return count;
 }
 
-/// Support-only gallop: |a ∩ b| counting search probes like
-/// intersect_gallop_into does.
-Count gallop_count(std::span<const Tid> a, std::span<const Tid> b,
-                   std::size_t* visited) {
-  if (a.size() > b.size()) return gallop_count(b, a, visited);
-  Count count = 0;
-  std::size_t j = 0;
-  std::size_t scanned = 0;
-  for (const Tid target : a) {
-    ++scanned;
-    // Doubling probes then binary search, mirroring tidlist.cpp.
-    std::size_t lo = j;
-    std::size_t step = 1;
-    std::size_t hi = lo;
-    while (hi < b.size() && b[hi] < target) {
-      ++scanned;
-      lo = hi + 1;
-      hi += step;
-      step *= 2;
-    }
-    hi = std::min(hi, b.size());
-    std::size_t width = hi - lo;
-    while (width > 0) {
-      ++scanned;
-      const std::size_t half = width / 2;
-      if (b[lo + half] < target) {
-        lo += half + 1;
-        width -= half + 1;
-      } else {
-        width = half;
+/// sparse \ denser-side with the diffset budget bound.
+template <typename DenseLike>
+bool probe_minus_into(std::span<const Tid> sparse, const DenseLike& dense,
+                      std::size_t budget, TidList& out,
+                      IntersectStats* stats) {
+  out.clear();
+  out.reserve(std::min(sparse.size(), budget + 1));
+  std::size_t i = 0;
+  bool ok = true;
+  for (; i < sparse.size(); ++i) {
+    if (!dense.test(sparse[i])) {
+      if (out.size() == budget) {
+        ok = false;
+        break;
       }
-    }
-    j = lo;
-    if (j == b.size()) break;
-    if (b[j] == target) {
-      ++count;
-      ++j;
+      out.push_back(sparse[i]);
     }
   }
-  if (visited != nullptr) *visited += scanned;
-  return count;
-}
-
-bool sparse_pair_skewed(std::size_t a, std::size_t b) {
-  return std::min(a, b) * kGallopSkew < std::max(a, b);
+  if (stats != nullptr) {
+    ++stats->probe_calls;
+    stats->tids_scanned += i;
+  }
+  return ok;
 }
 
 }  // namespace
@@ -134,6 +160,8 @@ const char* kernel_name(IntersectKernel kernel) {
       return "gallop";
     case IntersectKernel::kBitset:
       return "bitset";
+    case IntersectKernel::kChunked:
+      return "chunked";
     case IntersectKernel::kAuto:
       return "auto";
   }
@@ -145,56 +173,132 @@ std::optional<IntersectKernel> kernel_from_name(std::string_view name) {
   if (name == "short-circuit") return IntersectKernel::kMergeShortCircuit;
   if (name == "gallop") return IntersectKernel::kGallop;
   if (name == "bitset") return IntersectKernel::kBitset;
+  if (name == "chunked") return IntersectKernel::kChunked;
   if (name == "auto") return IntersectKernel::kAuto;
   return std::nullopt;
 }
 
 std::span<const Tid> TidSet::tids() const {
-  ECLAT_DCHECK(!dense_);
+  ECLAT_DCHECK(rep_ == TidRep::kSparse);
   return tids_;
 }
 
 const BitsetTidList& TidSet::bits() const {
-  ECLAT_DCHECK(dense_);
+  ECLAT_DCHECK(rep_ == TidRep::kDense);
   return bits_;
+}
+
+const ChunkedTidList& TidSet::chunks() const {
+  ECLAT_DCHECK(rep_ == TidRep::kChunked);
+  return chunks_;
 }
 
 void TidSet::assign_sparse(std::span<const Tid> tids) {
   ECLAT_DCHECK(is_valid_tidlist(tids));
   tids_.assign(tids.begin(), tids.end());
-  dense_ = false;
+  rep_ = TidRep::kSparse;
+}
+
+void TidSet::assign_chunked(std::span<const Tid> tids, Tid universe) {
+  chunks_.assign(tids, universe);
+  rep_ = TidRep::kChunked;
 }
 
 void TidSet::assign_dense(std::span<const Tid> tids, Tid universe) {
   bits_.assign(tids, universe);
-  dense_ = true;
+  rep_ = TidRep::kDense;
 }
 
 bool TidSet::prefers_dense(std::size_t size, Tid universe) {
-  return size > 0 && (static_cast<std::uint64_t>(size) << 6) >= universe;
+  return size > 0 && (static_cast<std::uint64_t>(size) << 7) >= universe;
+}
+
+TidRep TidSet::preferred_rep(std::size_t size, Tid universe) {
+  if (size == 0) return TidRep::kSparse;
+  const auto n = static_cast<std::uint64_t>(size);
+  if ((n << 7) >= universe) return TidRep::kDense;
+  if ((n << 10) >= universe) return TidRep::kChunked;
+  return TidRep::kSparse;
+}
+
+void TidSet::set_rep(TidRep rep, IntersectStats* stats) {
+  if (rep == rep_) return;
+  const std::int8_t dir = rep > rep_ ? 1 : -1;
+  if (stats != nullptr) {
+    if (dir > 0) {
+      ++stats->densified;
+    } else {
+      ++stats->sparsified;
+    }
+    if (last_conv_ != 0 && dir != last_conv_) ++stats->rep_flipflops;
+  }
+  last_conv_ = dir;
+  rep_ = rep;
 }
 
 void TidSet::normalize(Tid universe, IntersectStats* stats) {
-  const bool want_dense = prefers_dense(support(), universe);
-  if (want_dense == dense_) return;
-  if (want_dense) {
-    bits_.assign(tids_, universe);
-    dense_ = true;
-    if (stats != nullptr) ++stats->densified;
-  } else {
-    tids_.clear();
-    tids_.reserve(bits_.count());
-    bits_.append_to(tids_);
-    dense_ = false;
-    if (stats != nullptr) ++stats->sparsified;
+  const auto n = static_cast<std::size_t>(support());
+  TidRep target = preferred_rep(n, universe);
+  if (target == rep_) return;
+  if (target < rep_) {
+    // Sparsify only past the stay band: 8x below the entry threshold.
+    // Demotion costs a full decode pass of the source representation,
+    // so it has to be rare relative to the intersections it speeds up.
+    const auto size = static_cast<std::uint64_t>(n);
+    TidRep stay = TidRep::kSparse;
+    if (n > 0 && (size << 10) >= universe) {
+      stay = TidRep::kDense;
+    } else if (n > 0 && (size << 13) >= universe) {
+      stay = TidRep::kChunked;
+    }
+    if (stay > target) target = stay;
+    if (target >= rep_) {
+      if (stats != nullptr) ++stats->hysteresis_holds;
+      return;
+    }
   }
+  // Move the data, from the current representation to the target.
+  switch (target) {
+    case TidRep::kSparse:
+      tids_.clear();
+      tids_.reserve(n);
+      if (rep_ == TidRep::kDense) {
+        bits_.append_to(tids_);
+      } else {
+        chunks_.append_to(tids_);
+      }
+      break;
+    case TidRep::kChunked:
+      if (rep_ == TidRep::kSparse) {
+        chunks_.assign(tids_, universe);
+      } else {
+        chunks_.assign_from_words(bits_.words(), universe, bits_.count());
+      }
+      break;
+    case TidRep::kDense:
+      if (rep_ == TidRep::kSparse) {
+        bits_.assign(tids_, universe);
+      } else {
+        bits_.reset(universe);
+        chunks_.write_words(bits_.mutable_words());
+        bits_.set_count(chunks_.count());
+      }
+      break;
+  }
+  set_rep(target, stats);
 }
 
 void TidSet::append_to(TidList& out) const {
-  if (dense_) {
-    bits_.append_to(out);
-  } else {
-    out.insert(out.end(), tids_.begin(), tids_.end());
+  switch (rep_) {
+    case TidRep::kSparse:
+      out.insert(out.end(), tids_.begin(), tids_.end());
+      break;
+    case TidRep::kChunked:
+      chunks_.append_to(out);
+      break;
+    case TidRep::kDense:
+      bits_.append_to(out);
+      break;
   }
 }
 
@@ -208,18 +312,28 @@ TidList TidSet::to_tidlist() const {
 void seed_tidset(std::span<const Tid> tids, Tid universe,
                  IntersectKernel kernel, TidSet& out,
                  IntersectStats* stats) {
-  const bool dense =
-      kernel == IntersectKernel::kBitset ||
-      (kernel == IntersectKernel::kAuto &&
-       TidSet::prefers_dense(tids.size(), universe));
-  if (dense) {
-    out.bits_.assign(tids, universe);
-    out.dense_ = true;
-    if (stats != nullptr) ++stats->densified;
-  } else {
-    out.tids_.assign(tids.begin(), tids.end());
-    out.dense_ = false;
+  TidRep rep = TidRep::kSparse;
+  if (kernel == IntersectKernel::kBitset) {
+    rep = TidRep::kDense;
+  } else if (kernel == IntersectKernel::kChunked) {
+    rep = TidRep::kChunked;
+  } else if (kernel == IntersectKernel::kAuto) {
+    rep = TidSet::preferred_rep(tids.size(), universe);
   }
+  switch (rep) {
+    case TidRep::kSparse:
+      out.tids_.assign(tids.begin(), tids.end());
+      break;
+    case TidRep::kChunked:
+      out.chunks_.assign(tids, universe);
+      break;
+    case TidRep::kDense:
+      out.bits_.assign(tids, universe);
+      break;
+  }
+  out.rep_ = rep;
+  out.last_conv_ = 0;
+  if (stats != nullptr && rep != TidRep::kSparse) ++stats->densified;
 }
 
 bool intersect_into(const TidSet& a, const TidSet& b, Count minsup,
@@ -232,9 +346,9 @@ bool intersect_into(const TidSet& a, const TidSet& b, Count minsup,
   bool ok = false;
   switch (kernel) {
     case IntersectKernel::kMerge: {
-      ECLAT_DCHECK(!a.dense_ && !b.dense_);
+      ECLAT_DCHECK(a.rep_ == TidRep::kSparse && b.rep_ == TidRep::kSparse);
       intersect_into(a.tids_, b.tids_, out.tids_, vp);
-      out.dense_ = false;
+      out.rep_ = TidRep::kSparse;
       ok = out.tids_.size() >= minsup;
       if (stats != nullptr) {
         ++stats->merge_calls;
@@ -243,10 +357,10 @@ bool intersect_into(const TidSet& a, const TidSet& b, Count minsup,
       return ok;
     }
     case IntersectKernel::kMergeShortCircuit: {
-      ECLAT_DCHECK(!a.dense_ && !b.dense_);
+      ECLAT_DCHECK(a.rep_ == TidRep::kSparse && b.rep_ == TidRep::kSparse);
       ok = intersect_short_circuit_into(a.tids_, b.tids_, minsup, out.tids_,
                                         vp);
-      out.dense_ = false;
+      out.rep_ = TidRep::kSparse;
       if (stats != nullptr) {
         ++stats->merge_calls;
         stats->tids_scanned += visited;
@@ -255,9 +369,9 @@ bool intersect_into(const TidSet& a, const TidSet& b, Count minsup,
       return ok;
     }
     case IntersectKernel::kGallop: {
-      ECLAT_DCHECK(!a.dense_ && !b.dense_);
-      intersect_gallop_into(a.tids_, b.tids_, out.tids_, vp);
-      out.dense_ = false;
+      ECLAT_DCHECK(a.rep_ == TidRep::kSparse && b.rep_ == TidRep::kSparse);
+      gallop_into_dispatch(a.tids_, b.tids_, out.tids_, vp, stats);
+      out.rep_ = TidRep::kSparse;
       ok = out.tids_.size() >= minsup;
       if (stats != nullptr) {
         ++stats->gallop_calls;
@@ -266,11 +380,12 @@ bool intersect_into(const TidSet& a, const TidSet& b, Count minsup,
       return ok;
     }
     case IntersectKernel::kBitset: {
-      ECLAT_DCHECK(a.dense_ && b.dense_);
+      ECLAT_DCHECK(a.rep_ == TidRep::kDense && b.rep_ == TidRep::kDense);
       std::uint64_t words = 0;
       ok = out.bits_.assign_and_bounded(
           a.bits_, b.bits_, minsup, stats != nullptr ? &words : nullptr);
-      out.dense_ = true;
+      out.rep_ = TidRep::kDense;
+      count_simd_words(stats);
       if (stats != nullptr) {
         ++stats->bitset_calls;
         stats->words_scanned += words;
@@ -278,27 +393,61 @@ bool intersect_into(const TidSet& a, const TidSet& b, Count minsup,
       }
       return ok;
     }
+    case IntersectKernel::kChunked: {
+      ECLAT_DCHECK(a.rep_ == TidRep::kChunked && b.rep_ == TidRep::kChunked);
+      ok = out.chunks_.assign_and_bounded(a.chunks_, b.chunks_, minsup,
+                                          stats);
+      out.rep_ = TidRep::kChunked;
+      if (stats != nullptr) ++stats->chunked_calls;
+      return ok;
+    }
     case IntersectKernel::kAuto:
       break;  // dispatched below
   }
 
   // kAuto: dispatch on the operands' representations, then normalize the
-  // result's representation by the density threshold.
-  if (a.dense_ && b.dense_) {
+  // result's representation by the density thresholds (hysteretically).
+  const bool a_dense = a.rep_ == TidRep::kDense;
+  const bool b_dense = b.rep_ == TidRep::kDense;
+  const bool a_chunked = a.rep_ == TidRep::kChunked;
+  const bool b_chunked = b.rep_ == TidRep::kChunked;
+  if (a_dense && b_dense) {
     std::uint64_t words = 0;
     ok = out.bits_.assign_and_bounded(a.bits_, b.bits_, minsup,
                                       stats != nullptr ? &words : nullptr);
-    out.dense_ = true;
+    out.rep_ = TidRep::kDense;
+    count_simd_words(stats);
     if (stats != nullptr) {
       ++stats->bitset_calls;
       stats->words_scanned += words;
       if (!ok) ++stats->short_circuited;
     }
-  } else if (a.dense_ != b.dense_) {
-    const TidSet& sparse = a.dense_ ? b : a;
-    const TidSet& dense = a.dense_ ? a : b;
-    ok = probe_into(sparse.tids_, dense.bits_, minsup, out.tids_, stats);
-    out.dense_ = false;
+  } else if (a_chunked && b_chunked) {
+    ok = out.chunks_.assign_and_bounded(a.chunks_, b.chunks_, minsup, stats);
+    out.rep_ = TidRep::kChunked;
+    if (stats != nullptr) ++stats->chunked_calls;
+  } else if ((a_chunked && b_dense) || (a_dense && b_chunked)) {
+    const TidSet& chunked = a_chunked ? a : b;
+    const TidSet& dense = a_chunked ? b : a;
+    ok = out.chunks_.assign_and_bits_bounded(chunked.chunks_, dense.bits_,
+                                             minsup, stats);
+    out.rep_ = TidRep::kChunked;
+    if (stats != nullptr) ++stats->chunked_calls;
+  } else if (a.rep_ != b.rep_) {
+    // Exactly one sparse operand: probe the denser side per element.
+    const TidSet& sparse = a.rep_ == TidRep::kSparse ? a : b;
+    const TidSet& other = a.rep_ == TidRep::kSparse ? b : a;
+    if (other.rep_ == TidRep::kDense) {
+      // Flat-bitmap lookups are O(1), so per-element probing is optimal.
+      ok = probe_into(sparse.tids_, other.bits_, minsup, out.tids_, stats);
+    } else {
+      // Chunked lookups cost a container search per element; walk the
+      // list chunk-slice by chunk-slice instead (linear merge per chunk).
+      ok = ChunkedTidList::and_sparse(other.chunks_, sparse.tids_, minsup,
+                                      out.tids_, stats);
+      if (stats != nullptr) ++stats->chunked_calls;
+    }
+    out.rep_ = TidRep::kSparse;
   } else if (sparse_pair_skewed(a.tids_.size(), b.tids_.size())) {
     if (std::min(a.tids_.size(), b.tids_.size()) < minsup) {
       if (stats != nullptr) {
@@ -307,8 +456,8 @@ bool intersect_into(const TidSet& a, const TidSet& b, Count minsup,
       }
       return false;
     }
-    intersect_gallop_into(a.tids_, b.tids_, out.tids_, vp);
-    out.dense_ = false;
+    gallop_into_dispatch(a.tids_, b.tids_, out.tids_, vp, stats);
+    out.rep_ = TidRep::kSparse;
     ok = out.tids_.size() >= minsup;
     if (stats != nullptr) {
       ++stats->gallop_calls;
@@ -317,7 +466,7 @@ bool intersect_into(const TidSet& a, const TidSet& b, Count minsup,
   } else if (minsup > 1) {
     ok = intersect_short_circuit_into(a.tids_, b.tids_, minsup, out.tids_,
                                       vp);
-    out.dense_ = false;
+    out.rep_ = TidRep::kSparse;
     if (stats != nullptr) {
       ++stats->merge_calls;
       stats->tids_scanned += visited;
@@ -326,7 +475,7 @@ bool intersect_into(const TidSet& a, const TidSet& b, Count minsup,
   } else {
     // Bound bookkeeping cannot pay off at minsup <= 1: plain merge.
     intersect_into(a.tids_, b.tids_, out.tids_, vp);
-    out.dense_ = false;
+    out.rep_ = TidRep::kSparse;
     ok = out.tids_.size() >= minsup;
     if (stats != nullptr) {
       ++stats->merge_calls;
@@ -349,7 +498,7 @@ std::optional<Count> intersect_support(const TidSet& a, const TidSet& b,
   std::optional<Count> result;
   switch (kernel) {
     case IntersectKernel::kMerge: {
-      ECLAT_DCHECK(!a.dense_ && !b.dense_);
+      ECLAT_DCHECK(a.rep_ == TidRep::kSparse && b.rep_ == TidRep::kSparse);
       // minsup 0 disarms the bound: a full scan, checked afterwards.
       const std::optional<Count> count =
           intersect_count_bounded(a.tids_, b.tids_, 0, vp);
@@ -361,7 +510,7 @@ std::optional<Count> intersect_support(const TidSet& a, const TidSet& b,
       return result;
     }
     case IntersectKernel::kMergeShortCircuit: {
-      ECLAT_DCHECK(!a.dense_ && !b.dense_);
+      ECLAT_DCHECK(a.rep_ == TidRep::kSparse && b.rep_ == TidRep::kSparse);
       result = intersect_count_bounded(a.tids_, b.tids_, minsup, vp);
       if (stats != nullptr) {
         ++stats->merge_calls;
@@ -371,8 +520,8 @@ std::optional<Count> intersect_support(const TidSet& a, const TidSet& b,
       return result;
     }
     case IntersectKernel::kGallop: {
-      ECLAT_DCHECK(!a.dense_ && !b.dense_);
-      const Count count = gallop_count(a.tids_, b.tids_, vp);
+      ECLAT_DCHECK(a.rep_ == TidRep::kSparse && b.rep_ == TidRep::kSparse);
+      const Count count = gallop_count_dispatch(a.tids_, b.tids_, vp, stats);
       result = count >= minsup ? std::optional<Count>(count) : std::nullopt;
       if (stats != nullptr) {
         ++stats->gallop_calls;
@@ -381,10 +530,11 @@ std::optional<Count> intersect_support(const TidSet& a, const TidSet& b,
       return result;
     }
     case IntersectKernel::kBitset: {
-      ECLAT_DCHECK(a.dense_ && b.dense_);
+      ECLAT_DCHECK(a.rep_ == TidRep::kDense && b.rep_ == TidRep::kDense);
       std::uint64_t words = 0;
       const std::optional<std::size_t> count = BitsetTidList::and_count(
           a.bits_, b.bits_, minsup, stats != nullptr ? &words : nullptr);
+      count_simd_words(stats);
       if (stats != nullptr) {
         ++stats->bitset_calls;
         stats->words_scanned += words;
@@ -393,14 +543,27 @@ std::optional<Count> intersect_support(const TidSet& a, const TidSet& b,
       if (!count) return std::nullopt;
       return static_cast<Count>(*count);
     }
+    case IntersectKernel::kChunked: {
+      ECLAT_DCHECK(a.rep_ == TidRep::kChunked && b.rep_ == TidRep::kChunked);
+      const std::optional<std::size_t> count =
+          ChunkedTidList::and_count(a.chunks_, b.chunks_, minsup, stats);
+      if (stats != nullptr) ++stats->chunked_calls;
+      if (!count) return std::nullopt;
+      return static_cast<Count>(*count);
+    }
     case IntersectKernel::kAuto:
       break;  // dispatched below
   }
 
-  if (a.dense_ && b.dense_) {
+  const bool a_dense = a.rep_ == TidRep::kDense;
+  const bool b_dense = b.rep_ == TidRep::kDense;
+  const bool a_chunked = a.rep_ == TidRep::kChunked;
+  const bool b_chunked = b.rep_ == TidRep::kChunked;
+  if (a_dense && b_dense) {
     std::uint64_t words = 0;
     const std::optional<std::size_t> count = BitsetTidList::and_count(
         a.bits_, b.bits_, minsup, stats != nullptr ? &words : nullptr);
+    count_simd_words(stats);
     if (stats != nullptr) {
       ++stats->bitset_calls;
       stats->words_scanned += words;
@@ -409,10 +572,33 @@ std::optional<Count> intersect_support(const TidSet& a, const TidSet& b,
     if (!count) return std::nullopt;
     return static_cast<Count>(*count);
   }
-  if (a.dense_ != b.dense_) {
-    const TidSet& sparse = a.dense_ ? b : a;
-    const TidSet& dense = a.dense_ ? a : b;
-    return probe_count(sparse.tids_, dense.bits_, minsup, stats);
+  if (a_chunked && b_chunked) {
+    const std::optional<std::size_t> count =
+        ChunkedTidList::and_count(a.chunks_, b.chunks_, minsup, stats);
+    if (stats != nullptr) ++stats->chunked_calls;
+    if (!count) return std::nullopt;
+    return static_cast<Count>(*count);
+  }
+  if ((a_chunked && b_dense) || (a_dense && b_chunked)) {
+    const TidSet& chunked = a_chunked ? a : b;
+    const TidSet& dense = a_chunked ? b : a;
+    const std::optional<std::size_t> count = ChunkedTidList::and_count_bits(
+        chunked.chunks_, dense.bits_, minsup, stats);
+    if (stats != nullptr) ++stats->chunked_calls;
+    if (!count) return std::nullopt;
+    return static_cast<Count>(*count);
+  }
+  if (a.rep_ != b.rep_) {
+    const TidSet& sparse = a.rep_ == TidRep::kSparse ? a : b;
+    const TidSet& other = a.rep_ == TidRep::kSparse ? b : a;
+    if (other.rep_ == TidRep::kDense) {
+      return probe_count(sparse.tids_, other.bits_, minsup, stats);
+    }
+    if (stats != nullptr) ++stats->chunked_calls;
+    const std::optional<std::size_t> count = ChunkedTidList::and_sparse_count(
+        other.chunks_, sparse.tids_, minsup, stats);
+    if (!count) return std::nullopt;
+    return static_cast<Count>(*count);
   }
   if (sparse_pair_skewed(a.tids_.size(), b.tids_.size())) {
     if (std::min(a.tids_.size(), b.tids_.size()) < minsup) {
@@ -422,7 +608,7 @@ std::optional<Count> intersect_support(const TidSet& a, const TidSet& b,
       }
       return std::nullopt;
     }
-    const Count count = gallop_count(a.tids_, b.tids_, vp);
+    const Count count = gallop_count_dispatch(a.tids_, b.tids_, vp, stats);
     result = count >= minsup ? std::optional<Count>(count) : std::nullopt;
     if (stats != nullptr) {
       ++stats->gallop_calls;
@@ -453,9 +639,9 @@ bool difference_into(const TidSet& a, const TidSet& b, std::size_t budget,
       // The budget bound is dEclat's algorithmic pruning rule, not an
       // optional optimization, so every sparse kernel keeps it (galloping
       // has no difference analogue and falls back to the merge).
-      ECLAT_DCHECK(!a.dense_ && !b.dense_);
+      ECLAT_DCHECK(a.rep_ == TidRep::kSparse && b.rep_ == TidRep::kSparse);
       ok = difference_bounded_into(a.tids_, b.tids_, budget, out.tids_, vp);
-      out.dense_ = false;
+      out.rep_ = TidRep::kSparse;
       if (stats != nullptr) {
         ++stats->merge_calls;
         stats->tids_scanned += visited;
@@ -463,54 +649,82 @@ bool difference_into(const TidSet& a, const TidSet& b, std::size_t budget,
       return ok;
     }
     case IntersectKernel::kBitset: {
-      ECLAT_DCHECK(a.dense_ && b.dense_);
+      ECLAT_DCHECK(a.rep_ == TidRep::kDense && b.rep_ == TidRep::kDense);
       std::uint64_t words = 0;
       ok = out.bits_.assign_andnot_bounded(
           a.bits_, b.bits_, budget, stats != nullptr ? &words : nullptr);
-      out.dense_ = true;
+      out.rep_ = TidRep::kDense;
+      count_simd_words(stats);
       if (stats != nullptr) {
         ++stats->bitset_calls;
         stats->words_scanned += words;
       }
       return ok;
     }
+    case IntersectKernel::kChunked: {
+      ECLAT_DCHECK(a.rep_ == TidRep::kChunked && b.rep_ == TidRep::kChunked);
+      ok = out.chunks_.assign_andnot_bounded(a.chunks_, b.chunks_, budget,
+                                             stats);
+      out.rep_ = TidRep::kChunked;
+      if (stats != nullptr) ++stats->chunked_calls;
+      return ok;
+    }
     case IntersectKernel::kAuto:
       break;  // dispatched below
   }
 
-  if (a.dense_ && b.dense_) {
+  const TidRep ar = a.rep_;
+  const TidRep br = b.rep_;
+  if (ar == TidRep::kDense && br == TidRep::kDense) {
     std::uint64_t words = 0;
     ok = out.bits_.assign_andnot_bounded(a.bits_, b.bits_, budget,
                                          stats != nullptr ? &words : nullptr);
-    out.dense_ = true;
+    out.rep_ = TidRep::kDense;
+    count_simd_words(stats);
     if (stats != nullptr) {
       ++stats->bitset_calls;
       stats->words_scanned += words;
     }
-  } else if (!a.dense_ && b.dense_) {
-    out.tids_.clear();
-    out.tids_.reserve(std::min(a.tids_.size(), budget + 1));
-    std::size_t i = 0;
-    ok = true;
-    for (; i < a.tids_.size(); ++i) {
-      if (!b.bits_.test(a.tids_[i])) {
-        if (out.tids_.size() == budget) {
-          ok = false;
-          break;
-        }
-        out.tids_.push_back(a.tids_[i]);
-      }
-    }
-    out.dense_ = false;
+  } else if (ar == TidRep::kChunked && br == TidRep::kChunked) {
+    ok = out.chunks_.assign_andnot_bounded(a.chunks_, b.chunks_, budget,
+                                           stats);
+    out.rep_ = TidRep::kChunked;
+    if (stats != nullptr) ++stats->chunked_calls;
+  } else if (ar == TidRep::kChunked && br == TidRep::kDense) {
+    ok = out.chunks_.assign_andnot_bits_bounded(a.chunks_, b.bits_, budget,
+                                                stats);
+    out.rep_ = TidRep::kChunked;
+    if (stats != nullptr) ++stats->chunked_calls;
+  } else if (ar == TidRep::kChunked && br == TidRep::kSparse) {
+    ok = out.chunks_.assign_minus_sparse(a.chunks_, b.tids_, budget, stats);
+    out.rep_ = TidRep::kChunked;
+    if (stats != nullptr) ++stats->chunked_calls;
+  } else if (ar == TidRep::kDense && br == TidRep::kChunked) {
+    // Copy the flat bitmap, then clear the chunked container's bits.
+    out.bits_.assign_copy(a.bits_);
+    const std::size_t cleared =
+        b.chunks_.clear_words(out.bits_.mutable_words());
+    out.bits_.set_count(a.bits_.count() - cleared);
+    out.rep_ = TidRep::kDense;
+    ok = out.bits_.count() <= budget;
     if (stats != nullptr) {
-      ++stats->probe_calls;
-      stats->tids_scanned += i;
+      ++stats->chunked_calls;
+      stats->words_scanned += a.bits_.word_count();
     }
-  } else if (a.dense_ && !b.dense_) {
+  } else if (ar == TidRep::kSparse && br != TidRep::kSparse) {
+    if (br == TidRep::kDense) {
+      ok = probe_minus_into(a.tids_, b.bits_, budget, out.tids_, stats);
+    } else {
+      ok = ChunkedTidList::sparse_minus(a.tids_, b.chunks_, budget,
+                                        out.tids_, stats);
+      if (stats != nullptr) ++stats->chunked_calls;
+    }
+    out.rep_ = TidRep::kSparse;
+  } else if (ar == TidRep::kDense && br == TidRep::kSparse) {
     std::uint64_t words = 0;
     ok = out.bits_.assign_minus_sparse(a.bits_, b.tids_, budget,
                                        stats != nullptr ? &words : nullptr);
-    out.dense_ = true;
+    out.rep_ = TidRep::kDense;
     if (stats != nullptr) {
       ++stats->probe_calls;
       stats->words_scanned += words;
@@ -518,7 +732,7 @@ bool difference_into(const TidSet& a, const TidSet& b, std::size_t budget,
     }
   } else {
     ok = difference_bounded_into(a.tids_, b.tids_, budget, out.tids_, vp);
-    out.dense_ = false;
+    out.rep_ = TidRep::kSparse;
     if (stats != nullptr) {
       ++stats->merge_calls;
       stats->tids_scanned += visited;

@@ -1,21 +1,28 @@
 // Adaptive tid-set layer: every tid-list in the mining recursion is held
-// either sparse (sorted vector of tids) or dense (BitsetTidList), picked
-// per list by a density threshold over the class's tid universe.
+// sparse (sorted vector of tids), chunked (roaring-style hybrid
+// container), or dense (flat BitsetTidList), picked per list by density
+// thresholds over the class's tid universe.
 //
-// Selection rule: a list of n tids over universe U goes dense when
-// n · 64 >= U — i.e. when the bitset's words (U/64 of them) are no more
-// numerous than the list's elements. A word-AND-popcount intersection
-// costs ~U/64 branch-free word ops against ~c·(n_a + n_b) branchy
-// compares for the sorted merge, so the raw crossover sits near density
-// 1/128; one power of two of headroom pays for the sparse→dense
-// conversions at class boundaries and the dense→sparse decode of results
-// that fall back under the threshold (full derivation in DESIGN.md §5).
+// Selection rule (kAuto): a list of n tids over universe U goes dense
+// when n · 128 >= U (measured crossover: the SIMD word AND's U/64-word
+// scan beats the chunked containers from density 1/128 up), chunked
+// when n · 1024 >= U (too sparse for the flat bitmap, but dense enough
+// that per-chunk containers put the hot 2^16-tid chunks on the word
+// kernels while the cold ones run the STTNI u16 merge), and sparse
+// below that (measurement and derivation in DESIGN.md §5).
 //
-// Representations convert only at class boundaries: atoms are seeded into
-// their preferred representation when a class enters the recursion, each
-// child is normalized right after its intersection materializes, and
-// mixed sparse∩dense intersections run directly (probe the bitset per
-// sparse element) rather than converting an operand.
+// Representations convert only at class boundaries: atoms are seeded
+// into their preferred representation when a class enters the recursion
+// and each child is normalized right after its intersection
+// materializes. Normalization is hysteretic — converting toward denser
+// happens eagerly at the thresholds above, while converting toward
+// sparser waits until the size falls a further 8x below the boundary
+// (the stay band), so a class oscillating around a threshold stops
+// converting at every level; holds and direction reversals are counted
+// in IntersectStats (hysteresis_holds / rep_flipflops). Mixed-
+// representation intersections run directly (probe the denser operand
+// per sparse element, address the flat bitmap chunk-by-chunk) rather
+// than converting an operand.
 #pragma once
 
 #include <cstdint>
@@ -25,58 +32,61 @@
 
 #include "common/types.hpp"
 #include "vertical/bitset_tidlist.hpp"
+#include "vertical/chunked_tidlist.hpp"
+#include "vertical/intersect_stats.hpp"
 #include "vertical/tidlist.hpp"
 
 namespace eclat {
 
 /// Intersection kernel selection. kMerge/kMergeShortCircuit/kGallop force
 /// the sparse representation everywhere (the paper's kernels); kBitset
-/// forces dense; kAuto dispatches at runtime — gallop when one sparse
-/// list is 32× shorter than the other, word-AND when both operands are
-/// dense, short-circuited merge otherwise — with the representation of
-/// every list chosen by the density threshold.
+/// forces the flat dense bitmap; kChunked forces the roaring-style
+/// hybrid container; kAuto dispatches at runtime — word-AND when both
+/// operands are dense, the chunked kernels when a chunked operand is
+/// involved, gallop when one sparse list is 32× shorter than the other,
+/// short-circuited merge otherwise — with the representation of every
+/// list chosen by the density thresholds.
 enum class IntersectKernel : std::uint8_t {
   kMerge,
   kMergeShortCircuit,  // the paper's default
   kGallop,
-  kBitset,  // dense word-AND + popcount for every list
-  kAuto,    // runtime dispatch over adaptive representations
+  kBitset,   // dense word-AND + popcount for every list
+  kChunked,  // roaring-style hybrid container for every list
+  kAuto,     // runtime dispatch over adaptive representations
 };
 
 /// Canonical lowercase name ("merge", "short-circuit", "gallop",
-/// "bitset", "auto") — the spelling the bench/example --kernel flags use.
+/// "bitset", "chunked", "auto") — the spelling the bench/example
+/// --kernel flags use.
 const char* kernel_name(IntersectKernel kernel);
 
 /// Inverse of kernel_name; nullopt on an unknown name.
 std::optional<IntersectKernel> kernel_from_name(std::string_view name);
 
-/// Counters the ablation benchmarks read back. Scan counters record work
-/// actually performed: a short-circuited abort adds only the elements (or
-/// words) inspected before the bound fired, never the full input sizes.
-struct IntersectStats {
-  std::uint64_t intersections = 0;    ///< kernel invocations
-  std::uint64_t short_circuited = 0;  ///< aborted early by the bound
-  std::uint64_t tids_scanned = 0;     ///< sparse elements actually visited
-  std::uint64_t words_scanned = 0;    ///< bitset words actually ANDed
-  std::uint64_t merge_calls = 0;      ///< sparse∩sparse merges
-  std::uint64_t gallop_calls = 0;     ///< sparse∩sparse gallops
-  std::uint64_t bitset_calls = 0;     ///< dense∩dense word kernels
-  std::uint64_t probe_calls = 0;      ///< sparse∩dense bit probes
-  std::uint64_t count_only = 0;       ///< support-only evaluations
-  std::uint64_t densified = 0;        ///< sparse→dense conversions
-  std::uint64_t sparsified = 0;       ///< dense→sparse conversions
-};
+/// The three representations, ordered sparse < chunked < dense so
+/// conversion direction ("toward denser") is just an enum comparison.
+enum class TidRep : std::uint8_t { kSparse, kChunked, kDense };
 
-/// One tid-list in either representation. Assign/intersect operations
-/// reuse the internal buffers, so a TidSet slot held in a TidArena level
-/// stops allocating once warmed up.
+/// One tid-list in any representation. Assign/intersect operations reuse
+/// the internal buffers, so a TidSet slot held in a TidArena level stops
+/// allocating once warmed up.
 class TidSet {
  public:
   TidSet() = default;
 
-  bool dense() const { return dense_; }
+  TidRep rep() const { return rep_; }
+  bool dense() const { return rep_ == TidRep::kDense; }
+  bool chunked() const { return rep_ == TidRep::kChunked; }
   Count support() const {
-    return dense_ ? bits_.count() : tids_.size();
+    switch (rep_) {
+      case TidRep::kSparse:
+        return tids_.size();
+      case TidRep::kChunked:
+        return chunks_.count();
+      case TidRep::kDense:
+        return bits_.count();
+    }
+    return 0;  // unreachable
   }
   bool empty() const { return support() == 0; }
 
@@ -84,16 +94,26 @@ class TidSet {
   std::span<const Tid> tids() const;
   /// Bitset; only valid while dense.
   const BitsetTidList& bits() const;
+  /// Hybrid container; only valid while chunked.
+  const ChunkedTidList& chunks() const;
 
   void assign_sparse(std::span<const Tid> tids);
+  void assign_chunked(std::span<const Tid> tids, Tid universe);
   void assign_dense(std::span<const Tid> tids, Tid universe);
 
-  /// True iff the density threshold prefers the dense representation for
-  /// a list of `size` tids over `universe` transactions (size·64 >= U).
+  /// True iff the density threshold prefers the flat dense representation
+  /// for a list of `size` tids over `universe` transactions (size·128 >= U).
   static bool prefers_dense(std::size_t size, Tid universe);
 
-  /// Convert to whichever representation prefers_dense picks; no-op when
-  /// already there. Counts conversions into `stats` when given.
+  /// The representation kAuto targets for a fresh list of `size` tids:
+  /// dense at size·128 >= U, chunked at size·1024 >= U, else sparse.
+  static TidRep preferred_rep(std::size_t size, Tid universe);
+
+  /// Convert toward preferred_rep, hysteretically: densifying happens
+  /// eagerly, sparsifying only once the size falls 8x below the entry
+  /// threshold (dense holds while size·1024 >= U, chunked while
+  /// size·8192 >= U). Counts conversions, holds, and direction
+  /// reversals into `stats` when given.
   void normalize(Tid universe, IntersectStats* stats);
 
   /// Decode to a sorted tid-list regardless of representation.
@@ -113,14 +133,18 @@ class TidSet {
                               IntersectKernel, Tid, TidSet&,
                               IntersectStats*);
 
-  TidList tids_;         // sparse storage (and decode scratch)
-  BitsetTidList bits_;   // dense storage
-  bool dense_ = false;
+  void set_rep(TidRep rep, IntersectStats* stats);
+
+  TidList tids_;           // sparse storage (and decode scratch)
+  BitsetTidList bits_;     // dense storage
+  ChunkedTidList chunks_;  // hybrid storage
+  TidRep rep_ = TidRep::kSparse;
+  std::int8_t last_conv_ = 0;  // +1 densified last, -1 sparsified, 0 never
 };
 
 /// Load `tids` into `out` in the representation `kernel` mandates for a
 /// class over `universe`: sparse for the paper's kernels, dense for
-/// kBitset, threshold-chosen for kAuto.
+/// kBitset, chunked for kChunked, threshold-chosen for kAuto.
 void seed_tidset(std::span<const Tid> tids, Tid universe,
                  IntersectKernel kernel, TidSet& out,
                  IntersectStats* stats);
@@ -128,7 +152,7 @@ void seed_tidset(std::span<const Tid> tids, Tid universe,
 /// out = a ∩ b through the dispatched kernel, short-circuiting below
 /// `minsup`. Returns false iff the result provably misses minsup (then
 /// out is unspecified). `out` must not alias `a` or `b`. Under kAuto the
-/// result representation is normalized by the density threshold.
+/// result representation is normalized by the density thresholds.
 bool intersect_into(const TidSet& a, const TidSet& b, Count minsup,
                     IntersectKernel kernel, Tid universe, TidSet& out,
                     IntersectStats* stats);

@@ -1,0 +1,9 @@
+// Corpus: the one place ISA intrinsics are legal — a per-ISA kernel TU
+// under src/vertical/simd/, compiled with per-file -m flags and installed
+// behind the CPUID dispatch. isa-intrinsics must stay silent here.
+#include <immintrin.h>
+
+int approved_simd() {
+  __m256i v = _mm256_setzero_si256();
+  return _mm256_extract_epi32(v, 0);
+}

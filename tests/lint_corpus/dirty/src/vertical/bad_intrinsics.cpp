@@ -1,0 +1,10 @@
+// Corpus: ISA intrinsics outside src/vertical/simd/ — both the header
+// include and a direct intrinsic use must be flagged. Code like this
+// compiles against the build machine's baseline and bypasses the CPUID
+// dispatch, so it crashes on older hardware instead of falling back.
+#include <immintrin.h>
+
+int sneak_simd() {
+  __m256i v = _mm256_setzero_si256();
+  return _mm256_extract_epi32(v, 0);
+}

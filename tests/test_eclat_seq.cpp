@@ -110,7 +110,7 @@ TEST(EclatSeq, MatchesAprioriExactly) {
 constexpr IntersectKernel kAllKernels[] = {
     IntersectKernel::kMerge, IntersectKernel::kMergeShortCircuit,
     IntersectKernel::kGallop, IntersectKernel::kBitset,
-    IntersectKernel::kAuto};
+    IntersectKernel::kChunked, IntersectKernel::kAuto};
 
 TEST(EclatSeq, AllKernelsAgree) {
   const HorizontalDatabase db = small_quest_db();

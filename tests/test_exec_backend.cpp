@@ -29,7 +29,7 @@ using testutil::small_quest_db;
 constexpr IntersectKernel kAllKernels[] = {
     IntersectKernel::kMerge, IntersectKernel::kMergeShortCircuit,
     IntersectKernel::kGallop, IntersectKernel::kBitset,
-    IntersectKernel::kAuto};
+    IntersectKernel::kChunked, IntersectKernel::kAuto};
 
 par::ParallelOutput run_threads(const HorizontalDatabase& db,
                                 const par::ParEclatConfig& config,

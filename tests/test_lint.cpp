@@ -63,7 +63,7 @@ TEST(Lint, DirtyCorpusCoversEveryAnalyzer) {
        {"det-wallclock", "det-random", "det-thread", "det-ptr-key",
         "det-unordered-iter", "layer-violation", "layer-cycle",
         "contract-assert", "contract-abort", "contract-cast",
-        "contract-memcpy", "lint-suppression"}) {
+        "contract-memcpy", "isa-intrinsics", "lint-suppression"}) {
     EXPECT_NE(r.output.find(std::string("\"id\": \"") + id + "\""),
               std::string::npos)
         << "dirty corpus no longer triggers rule " << id;

@@ -8,6 +8,8 @@
 #include "common/rng.hpp"
 #include "eclat/compute_frequent.hpp"
 #include "vertical/bitset_tidlist.hpp"
+#include "vertical/chunked_tidlist.hpp"
+#include "vertical/simd/dispatch.hpp"
 #include "vertical/tidset.hpp"
 
 namespace eclat {
@@ -262,12 +264,12 @@ TEST(BitsetTidList, AndNotAndMinusSparseMatchDifference) {
 }
 
 TEST(TidSet, PrefersDenseAtTheDocumentedThreshold) {
-  // Dense iff size * 64 >= universe; the boundary itself goes dense.
-  EXPECT_FALSE(TidSet::prefers_dense(0, 64));   // empty stays sparse
-  EXPECT_TRUE(TidSet::prefers_dense(1, 64));
-  EXPECT_TRUE(TidSet::prefers_dense(10, 640));
-  EXPECT_FALSE(TidSet::prefers_dense(9, 640));
-  EXPECT_TRUE(TidSet::prefers_dense(10, 639));
+  // Dense iff size * 128 >= universe; the boundary itself goes dense.
+  EXPECT_FALSE(TidSet::prefers_dense(0, 128));  // empty stays sparse
+  EXPECT_TRUE(TidSet::prefers_dense(1, 128));
+  EXPECT_TRUE(TidSet::prefers_dense(10, 1280));
+  EXPECT_FALSE(TidSet::prefers_dense(9, 1280));
+  EXPECT_TRUE(TidSet::prefers_dense(10, 1279));
 }
 
 TEST(TidSet, SeedRepresentationFollowsKernel) {
@@ -285,23 +287,23 @@ TEST(TidSet, SeedRepresentationFollowsKernel) {
   EXPECT_TRUE(forced.dense());
   TidSet adaptive;
   seed_tidset(tids, kUniverse, IntersectKernel::kAuto, adaptive, nullptr);
-  EXPECT_FALSE(adaptive.dense());  // 4·64 < 640
+  EXPECT_FALSE(adaptive.dense());  // 4·128 < 640
   TidSet adaptive_dense;
   seed_tidset(tids, 256, IntersectKernel::kAuto, adaptive_dense, nullptr);
-  EXPECT_TRUE(adaptive_dense.dense());  // 4·64 >= 256
+  EXPECT_TRUE(adaptive_dense.dense());  // 4·128 >= 256
   EXPECT_EQ(adaptive_dense.to_tidlist(), tids);
 }
 
 constexpr IntersectKernel kAllKernels[] = {
     IntersectKernel::kMerge, IntersectKernel::kMergeShortCircuit,
     IntersectKernel::kGallop, IntersectKernel::kBitset,
-    IntersectKernel::kAuto};
+    IntersectKernel::kChunked, IntersectKernel::kAuto};
 
 TEST(TidSet, IntersectionAgreesWithReferenceAcrossKernels) {
   Rng rng(55);
   constexpr Tid kUniverse = 1024;
   std::vector<std::pair<TidList, TidList>> cases = adversarial_pairs();
-  // Density sweep including both sides of the 1/64 threshold and a skewed
+  // Density sweep including both sides of the 1/128 threshold and a skewed
   // pair that triggers the gallop arm of kAuto.
   for (double da : {0.004, 0.0625, 0.3}) {
     for (double db : {0.004, 0.0625, 0.3}) {
@@ -368,7 +370,7 @@ TEST(TidSet, DifferenceAgreesWithReferenceAcrossKernels) {
   }
 }
 
-TEST(TidSet, IntersectWithKernelAgreesAcrossAllFiveKernels) {
+TEST(TidSet, IntersectWithKernelAgreesAcrossAllKernels) {
   Rng rng(77);
   for (int trial = 0; trial < 40; ++trial) {
     const TidList a = random_list(rng, 500, 0.25);
@@ -429,6 +431,244 @@ TEST(TidSet, KernelNamesRoundTrip) {
   }
   EXPECT_FALSE(kernel_from_name("simd").has_value());
   EXPECT_FALSE(kernel_from_name("").has_value());
+}
+
+// ---- Chunked container and SIMD-dispatch properties ----
+
+/// Universe spanning four 2^16-tid chunks.
+constexpr Tid kChunkUniverse = 1u << 18;
+
+/// Adversarial single lists for the chunked container: chunk-boundary
+/// values, run-heavy spans, single-tid chunks, and a bitset-dense chunk.
+std::vector<TidList> chunked_adversarial_lists() {
+  std::vector<TidList> lists;
+  lists.push_back({});
+  lists.push_back({0});
+  lists.push_back({65535});                       // last tid of chunk 0
+  lists.push_back({65536});                       // first tid of chunk 1
+  lists.push_back({65535, 65536, 131071, 131072});  // both boundary sides
+  TidList runs;  // run-compressed: long consecutive spans
+  for (Tid t = 100; t < 5100; ++t) runs.push_back(t);
+  for (Tid t = 70000; t < 70100; ++t) runs.push_back(t);
+  lists.push_back(std::move(runs));
+  TidList singles;  // one tid per chunk
+  for (Tid c = 0; c < 4; ++c) singles.push_back(c * 65536 + 17);
+  lists.push_back(std::move(singles));
+  TidList dense_chunk;  // chunk 2 dense enough for its bitset container
+  for (Tid t = 131072; t < 131072 + 30000; t += 2) dense_chunk.push_back(t);
+  lists.push_back(std::move(dense_chunk));
+  return lists;
+}
+
+TEST(ChunkedTidList, RoundTripOnAdversarialLists) {
+  for (const TidList& tids : chunked_adversarial_lists()) {
+    ChunkedTidList chunks;
+    chunks.assign(tids, kChunkUniverse);
+    EXPECT_EQ(chunks.count(), tids.size());
+    EXPECT_EQ(chunks.to_tidlist(), tids);
+    for (const Tid probe :
+         {Tid{0}, Tid{17}, Tid{65535}, Tid{65536}, Tid{131072},
+          Tid{131073}, Tid{5099}, Tid{5100}, kChunkUniverse - 1}) {
+      EXPECT_EQ(chunks.test(probe),
+                std::binary_search(tids.begin(), tids.end(), probe))
+          << probe;
+    }
+    EXPECT_FALSE(chunks.test(kChunkUniverse));  // out of range: never set
+  }
+}
+
+TEST(ChunkedTidList, HistogramReflectsContainerTypes) {
+  // Chunk 0: 2000 scattered tids — too sparse for a bitset (card < 1024
+  // needs... 2000 >= 1024, so bitset), chunk 1: a pure run, chunk 2: a
+  // small array. Build each regime explicitly.
+  TidList tids;
+  for (Tid t = 0; t < 60000; t += 30) tids.push_back(t);  // 2000 ≥ 1024 → bitset
+  for (Tid t = 65536; t < 65536 + 512; ++t) tids.push_back(t);  // 1 run, 512 card
+  tids.push_back(131072 + 5);  // 1-element array
+  tids.push_back(131072 + 99);
+  ChunkedTidList chunks;
+  chunks.assign(tids, kChunkUniverse);
+  const ChunkedTidList::ContainerHistogram hist = chunks.histogram();
+  EXPECT_EQ(hist.bitset, 1u);
+  EXPECT_EQ(hist.run, 1u);
+  EXPECT_EQ(hist.array, 1u);
+  EXPECT_EQ(chunks.to_tidlist(), tids);
+}
+
+TEST(TidSet, ChunkedIntersectionAgreesOnMultiChunkInputs) {
+  Rng rng(88);
+  std::vector<std::pair<TidList, TidList>> cases;
+  const std::vector<TidList> adversarial = chunked_adversarial_lists();
+  for (std::size_t i = 0; i < adversarial.size(); ++i) {
+    for (std::size_t j = i; j < adversarial.size(); ++j) {
+      cases.emplace_back(adversarial[i], adversarial[j]);
+    }
+  }
+  // Density grid across the array/bitset/run container regimes.
+  for (double da : {0.001, 0.01, 0.05}) {
+    for (double db : {0.001, 0.05}) {
+      cases.emplace_back(random_list(rng, kChunkUniverse, da),
+                         random_list(rng, kChunkUniverse, db));
+    }
+  }
+  for (const auto& [a, b] : cases) {
+    const TidList exact = intersect(a, b);
+    for (IntersectKernel kernel :
+         {IntersectKernel::kChunked, IntersectKernel::kAuto}) {
+      // Bounded-abort exactness: the short-circuit decision must match
+      // the exact result size for minsup below, at, and above it.
+      for (const Count minsup :
+           {Count{1}, std::max<Count>(1, exact.size()),
+            static_cast<Count>(exact.size() + 1), Count{100000}}) {
+        TidSet sa, sb, out;
+        seed_tidset(a, kChunkUniverse, kernel, sa, nullptr);
+        seed_tidset(b, kChunkUniverse, kernel, sb, nullptr);
+        const bool ok = intersect_into(sa, sb, minsup, kernel,
+                                       kChunkUniverse, out, nullptr);
+        EXPECT_EQ(ok, exact.size() >= minsup)
+            << kernel_name(kernel) << " minsup=" << minsup;
+        if (ok) {
+          EXPECT_EQ(out.to_tidlist(), exact) << kernel_name(kernel);
+        }
+        const std::optional<Count> support =
+            intersect_support(sa, sb, minsup, kernel, nullptr);
+        EXPECT_EQ(support.has_value(), exact.size() >= minsup)
+            << kernel_name(kernel) << " minsup=" << minsup;
+        if (support) {
+          EXPECT_EQ(*support, exact.size()) << kernel_name(kernel);
+        }
+      }
+    }
+  }
+}
+
+TEST(TidSet, ChunkedDifferenceAgreesOnMultiChunkInputs) {
+  Rng rng(99);
+  std::vector<std::pair<TidList, TidList>> cases;
+  const std::vector<TidList> adversarial = chunked_adversarial_lists();
+  for (std::size_t i = 0; i < adversarial.size(); ++i) {
+    for (std::size_t j = 0; j < adversarial.size(); ++j) {
+      cases.emplace_back(adversarial[i], adversarial[j]);
+    }
+  }
+  for (double da : {0.001, 0.05}) {
+    for (double db : {0.001, 0.05}) {
+      cases.emplace_back(random_list(rng, kChunkUniverse, da),
+                         random_list(rng, kChunkUniverse, db));
+    }
+  }
+  for (const auto& [a, b] : cases) {
+    const TidList exact = difference(a, b);
+    for (IntersectKernel kernel :
+         {IntersectKernel::kChunked, IntersectKernel::kAuto}) {
+      // Budgets straddling the exact size check the abort decision.
+      for (const std::size_t budget :
+           {std::size_t{0}, exact.size() > 0 ? exact.size() - 1 : 0,
+            exact.size(), exact.size() + 100}) {
+        TidSet sa, sb, out;
+        seed_tidset(a, kChunkUniverse, kernel, sa, nullptr);
+        seed_tidset(b, kChunkUniverse, kernel, sb, nullptr);
+        const bool ok = difference_into(sa, sb, budget, kernel,
+                                        kChunkUniverse, out, nullptr);
+        EXPECT_EQ(ok, exact.size() <= budget)
+            << kernel_name(kernel) << " budget=" << budget;
+        if (ok) {
+          EXPECT_EQ(out.to_tidlist(), exact) << kernel_name(kernel);
+        }
+      }
+    }
+  }
+}
+
+TEST(TidSet, OutputsByteIdenticalAcrossIsaLevels) {
+  // The dispatched kernels may do different amounts of work per ISA
+  // (stats are work-measures), but the mined sets must decode
+  // byte-identically. Unsupported levels clamp to the best available,
+  // so this runs (and passes trivially) on scalar-only hosts too.
+  Rng rng(111);
+  const simd::IsaLevel levels[] = {simd::IsaLevel::kScalar,
+                                   simd::IsaLevel::kAvx2,
+                                   simd::IsaLevel::kAvx512};
+  for (int trial = 0; trial < 6; ++trial) {
+    const TidList a = random_list(rng, kChunkUniverse, 0.004 * (trial + 1));
+    const TidList b = random_list(rng, kChunkUniverse, 0.02);
+    for (IntersectKernel kernel : kAllKernels) {
+      std::optional<TidList> reference;
+      for (const simd::IsaLevel level : levels) {
+        simd::override_isa_level(level);
+        TidSet sa, sb, out;
+        seed_tidset(a, kChunkUniverse, kernel, sa, nullptr);
+        seed_tidset(b, kChunkUniverse, kernel, sb, nullptr);
+        ASSERT_TRUE(intersect_into(sa, sb, 1, kernel, kChunkUniverse, out,
+                                   nullptr));
+        const TidList decoded = out.to_tidlist();
+        if (!reference) {
+          reference = decoded;
+        } else {
+          EXPECT_EQ(decoded, *reference)
+              << kernel_name(kernel) << " at " << simd::isa_name(level);
+        }
+      }
+    }
+  }
+  simd::override_isa_level(std::nullopt);
+}
+
+TEST(TidSet, ScalarKernelsHonorForceOverride) {
+  simd::override_isa_level(simd::IsaLevel::kScalar);
+  EXPECT_EQ(simd::kernels().level, simd::IsaLevel::kScalar);
+  // Under forced scalar the stats-visited counts are exact (the SIMD
+  // paths may consume operands in blocks; scalar is the reference).
+  TidList a, b;
+  for (Tid t = 0; t < 100; ++t) a.push_back(t);
+  for (Tid t = 100; t < 300; ++t) b.push_back(t);
+  IntersectStats stats;
+  const auto result =
+      intersect_with_kernel(a, b, 1, IntersectKernel::kMerge, &stats);
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(stats.tids_scanned, 100u);
+  simd::override_isa_level(std::nullopt);
+  EXPECT_EQ(simd::kernels().level, simd::detected_isa_level());
+}
+
+TEST(TidSet, PreferredRepFollowsThresholds) {
+  // Dense at n·128 >= U, chunked at n·1024 >= U, sparse below, empty
+  // sparse.
+  EXPECT_EQ(TidSet::preferred_rep(0, 1024), TidRep::kSparse);
+  EXPECT_EQ(TidSet::preferred_rep(8, 1024), TidRep::kDense);
+  EXPECT_EQ(TidSet::preferred_rep(7, 1024), TidRep::kChunked);
+  EXPECT_EQ(TidSet::preferred_rep(1, 1024), TidRep::kChunked);
+  EXPECT_EQ(TidSet::preferred_rep(1, 1025), TidRep::kSparse);
+  EXPECT_EQ(TidSet::preferred_rep(1, 128), TidRep::kDense);
+}
+
+TEST(TidSet, NormalizeHoldsInsideTheStayBand) {
+  // 1000 tids over universe 64000: 1000·128 >= 64000 → dense.
+  constexpr Tid kUniverse = 64000;
+  TidList big;
+  for (Tid t = 0; t < 1000; ++t) big.push_back(t * 64);
+  TidSet set;
+  seed_tidset(big, kUniverse, IntersectKernel::kAuto, set, nullptr);
+  ASSERT_EQ(set.rep(), TidRep::kDense);
+
+  // 250 tids: below the dense entry threshold (250·128 < 64000) but
+  // inside the stay band (250·1024 >= 64000) — normalize must hold dense.
+  IntersectStats stats;
+  TidList mid(big.begin(), big.begin() + 250);
+  set.assign_dense(mid, kUniverse);
+  set.normalize(kUniverse, &stats);
+  EXPECT_EQ(set.rep(), TidRep::kDense);
+  EXPECT_EQ(stats.hysteresis_holds, 1u);
+  EXPECT_EQ(stats.sparsified, 0u);
+
+  // 50 tids: 50·1024 < 64000 — past the stay band, so it converts
+  // (50·8192 >= 64000 keeps it chunked rather than fully sparse).
+  TidList small(big.begin(), big.begin() + 50);
+  set.assign_dense(small, kUniverse);
+  set.normalize(kUniverse, &stats);
+  EXPECT_EQ(set.rep(), TidRep::kChunked);
+  EXPECT_EQ(stats.sparsified, 1u);
+  EXPECT_EQ(set.to_tidlist(), small);
 }
 
 }  // namespace

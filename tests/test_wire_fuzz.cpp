@@ -262,7 +262,10 @@ TEST(WireFrame, SequenceNumberRoundTripsAtTheExtremes) {
   const mc::Blob payload = valid_pair_blob(rng);
   for (const std::uint32_t seq :
        {0u, 1u, 0x7FFFFFFFu, 0xFFFFFFFFu}) {
-    const FrameResult opened = open_frame(seal_frame(payload, seq));
+    // FrameResult::payload is a span into the sealed blob — keep the
+    // frame alive past the comparison.
+    const mc::Blob frame = seal_frame(payload, seq);
+    const FrameResult opened = open_frame(frame);
     ASSERT_TRUE(opened) << opened.error;
     EXPECT_EQ(opened.seq, seq);
     ASSERT_EQ(opened.payload.size(), payload.size());

@@ -10,6 +10,15 @@
 //   layer-violation  include edge absent from the declared module DAG
 //   layer-unknown    file in a src/ module the DAG does not declare
 //   layer-cycle      cycle in the file-level include graph
+//   isa-intrinsics   ISA-specific intrinsics outside src/vertical/simd/
+//
+// isa-intrinsics is the runtime-dispatch contract in rule form: the only
+// place architecture intrinsics (or their headers) may appear is the
+// per-ISA kernel TUs, which are compiled with per-file -m flags and
+// installed behind the CPUID dispatch in simd/dispatch.cpp. An intrinsic
+// anywhere else either crashes on older hardware (the TU's baseline is
+// the build machine's) or silently forks the scalar/SIMD byte-identity
+// guarantee.
 #include "lint.hpp"
 
 #include <algorithm>
@@ -66,11 +75,69 @@ std::string module_of_include(const std::string& include) {
   return include.substr(0, slash);
 }
 
+/// Headers that pull in ISA-specific intrinsics. Including any of these
+/// outside the simd subtree is a finding even before an intrinsic is used.
+const std::set<std::string>& isa_headers() {
+  static const std::set<std::string> headers = {
+      "immintrin.h",  "x86intrin.h", "mmintrin.h",  "xmmintrin.h",
+      "emmintrin.h",  "pmmintrin.h", "tmmintrin.h", "smmintrin.h",
+      "nmmintrin.h",  "wmmintrin.h", "ammintrin.h", "cpuid.h",
+      "arm_neon.h",   "arm_sve.h",
+  };
+  return headers;
+}
+
+/// Identifier prefixes that only intrinsics (or their vector types) carry.
+bool is_intrinsic_ident(const std::string& text) {
+  static const char* kPrefixes[] = {
+      "_mm_",    "_mm256_", "_mm512_", "__m64",  "__m128",
+      "__m256",  "__m512",  "__mmask", "__builtin_ia32_",
+  };
+  for (const char* p : kPrefixes) {
+    if (text.rfind(p, 0) == 0) return true;
+  }
+  return false;
+}
+
+void analyze_isa_confinement(const SourceFile& file,
+                             std::vector<Finding>& findings) {
+  if (file.path.rfind("src/vertical/simd/", 0) == 0) return;
+  for (std::size_t k = 0; k < file.system_includes.size(); ++k) {
+    if (isa_headers().count(file.system_includes[k]) == 0) continue;
+    findings.push_back(
+        {file.path, file.system_include_lines[k], "isa-intrinsics",
+         "ISA intrinsics header <" + file.system_includes[k] +
+             "> outside src/vertical/simd/",
+         "intrinsics live only in the per-ISA kernel TUs behind the "
+         "runtime dispatch; call through simd::kernels() (add a kernel "
+         "entry point if none fits)",
+         false, ""});
+  }
+  for (std::size_t i = 0; i < file.tokens.size(); ++i) {
+    const Token& tok = file.tokens[i];
+    if (tok.kind != TokKind::kIdentifier) continue;
+    if (!is_intrinsic_ident(tok.text)) continue;
+    if (is_member_or_foreign_qualified(file.tokens, i)) continue;
+    findings.push_back(
+        {file.path, tok.line, "isa-intrinsics",
+         "ISA intrinsic '" + tok.text + "' outside src/vertical/simd/",
+         "intrinsics live only in the per-ISA kernel TUs behind the "
+         "runtime dispatch; call through simd::kernels() (add a kernel "
+         "entry point if none fits)",
+         false, ""});
+  }
+}
+
 }  // namespace
 
 void analyze_layering(const std::vector<SourceFile>& files,
                       std::vector<Finding>& findings) {
   const auto& dag = layer_dag();
+
+  // --- ISA confinement (every scanned file, tests/bench included) ---
+  for (const SourceFile& file : files) {
+    analyze_isa_confinement(file, findings);
+  }
 
   // --- module-DAG edges (src/ files only) ---
   for (const SourceFile& file : files) {
@@ -82,7 +149,7 @@ void analyze_layering(const std::vector<SourceFile>& files,
            "module 'src/" + file.module + "' is not in the declared layer "
            "DAG",
            "declare the module and its allowed dependencies in "
-           "tools/lint/layering.cpp (and DESIGN.md §7)",
+           "tools/lint/layering.cpp (and DESIGN.md §8.2)",
            false, ""});
       continue;
     }

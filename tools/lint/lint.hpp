@@ -10,6 +10,8 @@
 //   layering     layer-violation, layer-unknown, layer-cycle
 //   contracts    contract-assert, contract-abort, contract-cast,
 //                contract-memcpy
+//   isa          isa-intrinsics — ISA intrinsics/headers confined to
+//                src/vertical/simd/ (the runtime-dispatch contract)
 //   (tool)       lint-suppression — malformed/unjustified suppressions
 //
 // Suppressions are inline comments, justification mandatory:
@@ -18,7 +20,7 @@
 // `allow` covers the same line or the next code line; `allow-file` covers the
 // whole file. Every suppression is counted and surfaced in the report.
 //
-// See DESIGN.md §7 for the rule sets and the declared layer DAG.
+// See DESIGN.md §8 for the rule sets and the declared layer DAG.
 #pragma once
 
 #include <cstddef>
@@ -71,8 +73,8 @@ struct Finding {
 /// itself reported (lint-suppression).
 const std::set<std::string>& known_rule_ids();
 
-/// Analyzer family ("determinism", "layering", "contracts", "suppression")
-/// derived from a rule id's prefix.
+/// Analyzer family ("determinism", "layering", "contracts", "isa",
+/// "suppression") derived from a rule id's prefix.
 std::string analyzer_of(const std::string& id);
 
 /// Tokenize one file: strips comments and string/char literals (recording

@@ -35,7 +35,7 @@ bool has_extension(const fs::path& p) {
 }
 
 /// Is this file on the result-emission / wire-serialization path? By
-/// definition (DESIGN.md §7): the wire and result/IO modules themselves,
+/// definition (DESIGN.md §8.1): the wire and result/IO modules themselves,
 /// plus every src/ file that includes them.
 bool on_emission_path(const SourceFile& file) {
   if (file.module.empty()) return false;

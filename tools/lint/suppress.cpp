@@ -16,7 +16,7 @@ const std::set<std::string>& known_rule_ids() {
       "det-ptr-key",     "det-unordered-iter",
       "layer-violation", "layer-unknown",  "layer-cycle",
       "contract-assert", "contract-abort", "contract-cast",
-      "contract-memcpy", "lint-suppression",
+      "contract-memcpy", "isa-intrinsics", "lint-suppression",
   };
   return ids;
 }
@@ -25,6 +25,7 @@ std::string analyzer_of(const std::string& id) {
   if (id.rfind("det-", 0) == 0) return "determinism";
   if (id.rfind("layer-", 0) == 0) return "layering";
   if (id.rfind("contract-", 0) == 0) return "contracts";
+  if (id.rfind("isa-", 0) == 0) return "isa";
   return "suppression";
 }
 
@@ -67,7 +68,7 @@ void apply_suppressions(std::vector<SourceFile>& files,
           findings.push_back(
               {file.path, sup.line, "lint-suppression",
                "suppression names unknown rule id '" + id + "'",
-               "valid ids are listed in DESIGN.md §7 (and tools/lint/"
+               "valid ids are listed in DESIGN.md §8 (and tools/lint/"
                "suppress.cpp)",
                false, ""});
           unknown = true;
