@@ -135,9 +135,12 @@ int main(int argc, char** argv) {
     for (exec::ClassScheduler scheduler : schedulers) {
       double base_seconds = 0.0;
       for (std::size_t threads : sweep) {
+        exec::ThreadBackendOptions thread_options;
+        thread_options.threads = threads;
+        thread_options.scheduler = scheduler;
         const std::unique_ptr<exec::Backend> backend = exec::make_backend(
             backend_kind, mc::Topology{1, threads}, mc::CostModel{},
-            exec::ThreadBackendOptions{threads, scheduler});
+            thread_options);
         const par::ParallelOutput run = backend->mine(spec.db, config);
 
         Row row;

@@ -66,8 +66,12 @@ par::ParallelOutput mine_with_stats(const HorizontalDatabase& db,
       config.minsup = minsup;
       config.kernel = options.kernel;
       config.replication = options.replication;
-      const exec::ThreadBackendOptions thread_options{options.exec_threads,
-                                                      options.exec_scheduler};
+      exec::ThreadBackendOptions thread_options;
+      thread_options.threads = options.exec_threads;
+      thread_options.scheduler = options.exec_scheduler;
+      thread_options.max_retries = options.exec_max_retries;
+      thread_options.mem_budget = options.exec_mem_budget;
+      thread_options.faults = options.exec_faults;
       const std::unique_ptr<exec::Backend> backend = exec::make_backend(
           options.backend, options.topology, options.cost, thread_options);
       return backend->mine(db, config);

@@ -52,6 +52,18 @@ struct MineOptions {
   std::size_t exec_threads = 0;
   /// Class scheduler for the threads backend.
   exec::ClassScheduler exec_scheduler = exec::ClassScheduler::kWorkStealing;
+  /// Per-class retry budget on the threads backend: a class failing more
+  /// than this many attempts quarantines the run (clean typed abort,
+  /// exec::ExecClassQuarantined).
+  std::uint32_t exec_max_retries = 2;
+  /// Per-worker TidArena memory budget in bytes on the threads backend;
+  /// 0 = unlimited. Over budget, workers degrade gracefully (demote
+  /// representations, then fail and retry the one class) instead of
+  /// growing without bound.
+  std::size_t exec_mem_budget = 0;
+  /// Deterministic fault schedule for the threads backend (tests/chaos;
+  /// empty = fault-free production default).
+  exec::ExecFaultPlan exec_faults;
   /// Replication factor for the recovery store's class tid-list images
   /// under kParEclat on the mc backend (0 = full replication). Bounds the
   /// replicated footprint; lost images fall back to lineage recomputation.

@@ -57,12 +57,17 @@ void emit(const Itemset& prefix, Item suffix, Count support,
 void mine(TidArena& arena, std::size_t depth, Count minsup,
           IntersectKernel kernel, Tid universe,
           std::vector<FrequentItemset>& out,
-          std::vector<std::size_t>& size_histogram, IntersectStats* stats) {
+          std::vector<std::size_t>& size_histogram, IntersectStats* stats,
+          MiningGuard* guard) {
   TidArena::Level& cur = arena.level(depth);
   TidArena::Level& next = arena.level(depth + 1);
   const std::size_t n = cur.used;
   Itemset& prefix = arena.prefix();
   for (std::size_t i = 0; i + 1 < n; ++i) {
+    // One guard checkpoint per leading atom: the work in between (one row
+    // of intersections plus the child-class recursion entry) is bounded,
+    // so a cancellation or budget check is never starved.
+    if (guard != nullptr) guard->checkpoint();
     prefix.push_back(cur.suffixes[i]);
     if (i + 2 == n) {
       // Single join (i, n-1) whose child class is at most a singleton —
@@ -86,7 +91,7 @@ void mine(TidArena& arena, std::size_t depth, Count minsup,
       }
       if (next.used >= 2) {
         mine(arena, depth + 1, minsup, kernel, universe, out,
-             size_histogram, stats);
+             size_histogram, stats, guard);
       }
     }
     prefix.pop_back();
@@ -99,8 +104,9 @@ void compute_frequent(const std::vector<Atom>& class_atoms, Count minsup,
                       IntersectKernel kernel, TidArena& arena,
                       std::vector<FrequentItemset>& out,
                       std::vector<std::size_t>& size_histogram,
-                      IntersectStats* stats) {
+                      IntersectStats* stats, MiningGuard* guard) {
   if (class_atoms.size() < 2) return;
+  if (guard != nullptr) guard->checkpoint();
 #if ECLAT_DCHECKS_ENABLED
   for (const Atom& atom : class_atoms) {
     ECLAT_DCHECK(atom.items.size() == class_atoms.front().items.size());
@@ -122,7 +128,8 @@ void compute_frequent(const std::vector<Atom>& class_atoms, Count minsup,
   Itemset& prefix = arena.prefix();
   prefix.assign(class_atoms.front().items.begin(),
                 class_atoms.front().items.end() - 1);
-  mine(arena, 0, minsup, kernel, universe, out, size_histogram, stats);
+  mine(arena, 0, minsup, kernel, universe, out, size_histogram, stats,
+       guard);
   prefix.clear();
 }
 

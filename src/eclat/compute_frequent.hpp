@@ -12,6 +12,7 @@
 
 #include "common/result.hpp"
 #include "common/types.hpp"
+#include "eclat/mining_guard.hpp"
 #include "eclat/tid_arena.hpp"
 #include "vertical/tidlist.hpp"
 #include "vertical/tidset.hpp"
@@ -36,12 +37,15 @@ Tid class_universe(const std::vector<Atom>& class_atoms);
 /// Found itemsets are appended to `out`; per-size counts are accumulated
 /// into `size_histogram` (index = itemset size; grown on demand).
 /// `arena` provides the recursion's scratch buffers and may be reused
-/// across calls (and across classes) on the same thread.
+/// across calls (and across classes) on the same thread. A non-null
+/// `guard` is checkpointed at class entry and every leading-atom
+/// boundary (mining_guard.hpp); it may throw to abandon the class.
 void compute_frequent(const std::vector<Atom>& class_atoms, Count minsup,
                       IntersectKernel kernel, TidArena& arena,
                       std::vector<FrequentItemset>& out,
                       std::vector<std::size_t>& size_histogram,
-                      IntersectStats* stats = nullptr);
+                      IntersectStats* stats = nullptr,
+                      MiningGuard* guard = nullptr);
 
 /// Convenience overload with a call-local arena (tests, one-shot callers).
 void compute_frequent(const std::vector<Atom>& class_atoms, Count minsup,

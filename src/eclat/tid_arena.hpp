@@ -86,6 +86,42 @@ class TidArena {
     prefix_.clear();
   }
 
+  /// Bytes retained across all levels (buffer capacities plus tid-set
+  /// storage). This is what the exec per-worker memory budget meters.
+  std::size_t memory_bytes() const {
+    std::size_t total = prefix_.capacity() * sizeof(Item);
+    for (const Level& level : levels_) {
+      total += level.suffixes.capacity() * sizeof(Item) +
+               level.supports.capacity() * sizeof(Count);
+      for (const TidSet& set : level.sets) {
+        total += sizeof(TidSet) + set.memory_bytes();
+      }
+    }
+    return total;
+  }
+
+  /// Memory-pressure relief, called from a MiningGuard checkpoint (so no
+  /// scratch() reference is outstanding): slots past each level's `used`
+  /// cursor hold only dead data and are released outright; live slots are
+  /// demoted to the chunked representation when `demote_live` allows it
+  /// (kAuto/kChunked kernels — the forced sparse/dense kernels must keep
+  /// their representation). Returns the number of sets demoted. The
+  /// arena stays structurally valid: mining continues on the demoted
+  /// sets through the mixed-representation kernels.
+  std::size_t relieve_memory(bool demote_live) {
+    std::size_t demoted = 0;
+    for (Level& level : levels_) {
+      for (std::size_t s = 0; s < level.sets.size(); ++s) {
+        if (s >= level.used) {
+          level.sets[s].release();
+        } else if (demote_live && level.sets[s].demote_to_chunked()) {
+          ++demoted;
+        }
+      }
+    }
+    return demoted;
+  }
+
  private:
   std::deque<Level> levels_;  // deque: stable refs while deeper levels grow
   Itemset prefix_;

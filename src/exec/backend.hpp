@@ -9,7 +9,11 @@
 //   - "threads" a native shared-memory pool (ThreadBackend): one worker
 //               per core, per-worker TidArenas, and per-worker
 //               Chase–Lev work-stealing deques for dynamic class
-//               scheduling. Real wall-clock speed; no fault model.
+//               scheduling. Real wall-clock speed, with a deterministic
+//               per-class fault-tolerance layer (exec_fault.hpp): task
+//               isolation, bounded retry, quarantine-then-clean-abort,
+//               a cooperative stall watchdog and a per-worker arena
+//               memory budget. DESIGN.md §11.
 //
 // Both backends produce byte-identical mined output for the same input
 // and config — the commit-order reduction rule (results assembled per
@@ -23,6 +27,7 @@
 #include <string_view>
 
 #include "data/horizontal.hpp"
+#include "exec/exec_fault.hpp"
 #include "parallel/par_eclat.hpp"
 #include "parallel/parallel_common.hpp"
 
@@ -77,6 +82,21 @@ struct ThreadBackendOptions {
   /// resolved value is echoed in ParallelOutput::exec_threads).
   std::size_t threads = 0;
   ClassScheduler scheduler = ClassScheduler::kWorkStealing;
+  /// Retry budget per class (--exec-max-retries): a class whose attempts
+  /// fail more than this many times is quarantined and the run ends in
+  /// the typed clean abort (ExecClassQuarantined).
+  std::uint32_t max_retries = 2;
+  /// Per-worker TidArena memory budget in bytes (--exec-mem-budget);
+  /// 0 = unlimited (metering disabled). See mem_budget.hpp for the
+  /// degradation ladder.
+  std::size_t mem_budget = 0;
+  /// Deterministic class-attempt fault schedule (empty = fault-free).
+  ExecFaultPlan faults;
+  /// Per-class task isolation + watchdog + validation layer. Disabling
+  /// it restores the bare direct-call asynchronous phase (the overhead
+  /// baseline bench_exec_faults measures against); a non-empty fault
+  /// plan then has nothing to hook into and is rejected.
+  bool isolation = true;
 };
 
 /// Construct a backend. The mc flavour mines on a fresh Cluster of the

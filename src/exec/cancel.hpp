@@ -1,0 +1,44 @@
+// Cooperative cancellation for class-mining tasks on the thread backend.
+//
+// A CancelToken is owned by the worker's ProgressBoard lease and checked
+// at every MiningGuard checkpoint of the mining recursion. Cancellation
+// is one-way (cancel() is never undone within a task) and the only
+// party that cancels a token is the watchdog reclaiming a *parked*
+// lease — so an honest, progressing task never observes a cancel, and a
+// replay cancels exactly the attempts the fault plan parked.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace eclat::exec {
+
+class CancelToken {
+ public:
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+  void cancel() { cancelled_.store(true, std::memory_order_release); }
+  void reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Raised by a task's MiningGuard when its token was cancelled (the
+/// watchdog reclaimed the lease and already accounted + re-enqueued the
+/// class). Not a TaskFailure: a cancellation is the *watchdog's* retry
+/// accounting, so the cancelled owner just unwinds without counting a
+/// second failure.
+class ClassCancelled final : public std::runtime_error {
+ public:
+  ClassCancelled(std::size_t class_id, std::uint32_t attempt)
+      : std::runtime_error("exec: class " + std::to_string(class_id) +
+                           " attempt " + std::to_string(attempt) +
+                           " cancelled by the watchdog") {}
+};
+
+}  // namespace eclat::exec

@@ -1,0 +1,280 @@
+#include "exec/exec_fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace eclat::exec {
+
+const char* to_string(ExecFaultKind kind) {
+  switch (kind) {
+    case ExecFaultKind::kNone:
+      return "none";
+    case ExecFaultKind::kThrow:
+      return "throw";
+    case ExecFaultKind::kCorrupt:
+      return "corrupt";
+    case ExecFaultKind::kStall:
+      return "stall";
+  }
+  return "?";
+}
+
+ExecFaultEvent ExecFaultPlan::throw_on(std::size_t class_id,
+                                       std::uint32_t times) {
+  ExecFaultEvent event;
+  event.kind = ExecFaultKind::kThrow;
+  event.class_id = class_id;
+  event.times = times;
+  return event;
+}
+
+ExecFaultEvent ExecFaultPlan::corrupt_on(std::size_t class_id,
+                                         std::uint32_t times) {
+  ExecFaultEvent event = throw_on(class_id, times);
+  event.kind = ExecFaultKind::kCorrupt;
+  return event;
+}
+
+ExecFaultEvent ExecFaultPlan::stall_on(std::size_t class_id,
+                                       std::uint32_t times) {
+  ExecFaultEvent event = throw_on(class_id, times);
+  event.kind = ExecFaultKind::kStall;
+  return event;
+}
+
+ExecFaultEvent ExecFaultPlan::hashed(ExecFaultKind kind, std::uint64_t mod,
+                                     std::uint64_t sel,
+                                     std::uint32_t times) {
+  ExecFaultEvent event;
+  event.kind = kind;
+  event.class_id = kAnyClass;
+  event.mod = mod;
+  event.sel = sel;
+  event.times = times;
+  return event;
+}
+
+void validate_exec_plan(const ExecFaultPlan& plan) {
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    const ExecFaultEvent& event = plan.events[i];
+    const auto reject = [&](const std::string& why) {
+      throw std::invalid_argument("exec fault plan event " +
+                                  std::to_string(i) + ": " + why);
+    };
+    if (event.kind == ExecFaultKind::kNone) {
+      reject("kind 'none' injects nothing; use throw, corrupt or stall");
+    }
+    if (event.times == 0) {
+      reject("times must be >= 1 (the first `times` attempts fault)");
+    }
+    if (event.class_id == kAnyClass) {
+      if (event.mod == 0) {
+        reject("hash-selected event needs mod >= 1");
+      }
+      if (event.sel >= event.mod) {
+        reject("hash selector sel=" + std::to_string(event.sel) +
+               " must be < mod=" + std::to_string(event.mod));
+      }
+    }
+  }
+}
+
+std::string exec_plan_to_text(const ExecFaultPlan& plan) {
+  std::ostringstream out;
+  out << "exec-seed " << plan.seed << "\n";
+  for (const ExecFaultEvent& e : plan.events) {
+    out << "exec-event kind=" << to_string(e.kind) << " class=";
+    if (e.class_id == kAnyClass) {
+      out << "any";
+    } else {
+      out << e.class_id;
+    }
+    out << " mod=" << e.mod << " sel=" << e.sel << " times=" << e.times
+        << "\n";
+  }
+  return out.str();
+}
+
+ExecFaultPlan exec_plan_from_text(const std::string& text) {
+  ExecFaultPlan plan;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_seed = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream tokens(line);
+    std::string head;
+    tokens >> head;
+    const auto fail = [&](const std::string& why) {
+      throw std::invalid_argument("exec fault plan line " +
+                                  std::to_string(line_no) + ": " + why);
+    };
+    if (head == "exec-seed") {
+      if (!(tokens >> plan.seed)) fail("exec-seed needs an unsigned value");
+      saw_seed = true;
+      continue;
+    }
+    if (head != "exec-event") {
+      fail("expected 'exec-seed' or 'exec-event', got '" + head + "'");
+    }
+    ExecFaultEvent event;
+    std::string token;
+    while (tokens >> token) {
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos) {
+        fail("expected key=value, got '" + token + "'");
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      const auto as_ull = [&](const std::string& digits) -> std::uint64_t {
+        try {
+          return std::stoull(digits);
+        } catch (const std::exception&) {
+          fail("bad value '" + value + "' for key '" + key + "'");
+        }
+        return 0;  // unreachable; fail() threw
+      };
+      if (key == "kind") {
+        bool known = false;
+        for (const ExecFaultKind kind :
+             {ExecFaultKind::kThrow, ExecFaultKind::kCorrupt,
+              ExecFaultKind::kStall}) {
+          if (value == to_string(kind)) {
+            event.kind = kind;
+            known = true;
+          }
+        }
+        if (!known) fail("unknown fault kind '" + value + "'");
+      } else if (key == "class") {
+        event.class_id = value == "any"
+                             ? kAnyClass
+                             : static_cast<std::size_t>(as_ull(value));
+      } else if (key == "mod") {
+        event.mod = as_ull(value);
+      } else if (key == "sel") {
+        event.sel = as_ull(value);
+      } else if (key == "times") {
+        event.times = static_cast<std::uint32_t>(as_ull(value));
+      } else {
+        fail("unknown key '" + key + "'");
+      }
+    }
+    plan.events.push_back(event);
+  }
+  if (!saw_seed) {
+    throw std::invalid_argument("exec fault plan: missing 'exec-seed' line");
+  }
+  return plan;
+}
+
+InjectedTaskThrow::InjectedTaskThrow(std::size_t class_id,
+                                     std::uint32_t attempt)
+    : TaskFailure("exec fault: injected throw (class " +
+                  std::to_string(class_id) + " attempt " +
+                  std::to_string(attempt) + ")") {}
+
+ExecClassQuarantined::ExecClassQuarantined(std::size_t class_id,
+                                           std::uint32_t attempts,
+                                           const std::string& last_error)
+    : std::runtime_error("exec: class " + std::to_string(class_id) +
+                         " quarantined after " + std::to_string(attempts) +
+                         " failed attempts (" + last_error +
+                         "); run aborted cleanly"),
+      class_id_(class_id),
+      attempts_(attempts) {}
+
+ExecFaultInjector::ExecFaultInjector(const ExecFaultPlan& plan)
+    : plan_(plan) {
+  validate_exec_plan(plan_);
+}
+
+bool ExecFaultInjector::matches(const ExecFaultEvent& event,
+                                std::size_t event_index,
+                                std::size_t class_id) const {
+  if (event.class_id != kAnyClass) return event.class_id == class_id;
+  // Seeded hash selection: a fresh Rng stream per (class, event), so two
+  // hash events in one plan select independent class subsets.
+  Rng rng(plan_.seed ^ (0x9E3779B97F4A7C15ULL * (class_id + 1)) ^
+          (0xBF58476D1CE4E5B9ULL * (event_index + 1)));
+  return rng.below(event.mod) == event.sel;
+}
+
+ExecFaultKind ExecFaultInjector::fault_for(std::size_t class_id,
+                                           std::uint32_t attempt) const {
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const ExecFaultEvent& event = plan_.events[i];
+    if (attempt >= event.times) continue;
+    if (matches(event, i, class_id)) return event.kind;
+  }
+  return ExecFaultKind::kNone;
+}
+
+void ExecFaultInjector::corrupt_result(
+    std::size_t class_id, std::uint32_t attempt, Count minsup,
+    std::vector<FrequentItemset>& result) const {
+  Rng rng(plan_.seed ^ (0x94D049BB133111EBULL * (class_id + 1)) ^
+          (0xD6E8FEB86659FD93ULL * (attempt + 1)));
+  // Every mutation mode produces a slot that validate_class_result is
+  // guaranteed to reject, so detection (and therefore the retry
+  // schedule) is deterministic.
+  if (result.empty() || rng.below(3) == 0) {
+    // Bogus extra itemset: two identical items can never be a valid
+    // (strictly ascending, >= 3 items) mined itemset.
+    FrequentItemset& bogus = result.emplace_back();
+    bogus.items = {0, 0};
+    bogus.support = minsup;
+    return;
+  }
+  FrequentItemset& victim = result[rng.below(result.size())];
+  if (minsup > 0 && rng.below(2) == 0) {
+    victim.support = minsup - 1;  // below the support floor
+  } else {
+    std::swap(victim.items[0], victim.items[1]);  // breaks ascending order
+  }
+}
+
+void validate_class_result(const EquivalenceClass& eq_class, Count minsup,
+                           const std::vector<FrequentItemset>& result) {
+  // Members arrive sorted from the frequent-pair split, but the contract
+  // check must not rely on that: sort a local copy once per validation.
+  std::vector<Item> members = eq_class.members;
+  std::sort(members.begin(), members.end());
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    const FrequentItemset& found = result[i];
+    const auto reject = [&](const std::string& why) {
+      throw ClassResultCorrupt(
+          "exec: corrupt class result (class prefix " +
+          std::to_string(eq_class.prefix) + ", itemset " +
+          std::to_string(i) + ": " + why + ")");
+    };
+    if (found.items.size() < 3) {
+      reject("only " + std::to_string(found.items.size()) +
+             " items; class mining emits >= 3");
+    }
+    if (found.items.front() != eq_class.prefix) {
+      reject("first item " + std::to_string(found.items.front()) +
+             " is not the class prefix");
+    }
+    for (std::size_t k = 1; k < found.items.size(); ++k) {
+      if (found.items[k] <= found.items[k - 1]) {
+        reject("items not strictly ascending at position " +
+               std::to_string(k));
+      }
+      if (!std::binary_search(members.begin(), members.end(),
+                              found.items[k])) {
+        reject("item " + std::to_string(found.items[k]) +
+               " is not a class member");
+      }
+    }
+    if (found.support < minsup) {
+      reject("support " + std::to_string(found.support) +
+             " below minsup " + std::to_string(minsup));
+    }
+  }
+}
+
+}  // namespace eclat::exec

@@ -1,0 +1,82 @@
+// The bare work-stealing worker loop shared by the thread backend's
+// isolation-off asynchronous phase: per-worker Chase–Lev deques seeded
+// with a fixed task set, LIFO owner pops, FIFO steals from the victim
+// with the most advisory load remaining.
+//
+// Termination accounting is exception-exact. `tasks_left` counts tasks
+// not yet *retired*: the unit is decremented on every exit path of the
+// task body, including an escaping exception, and an escape also raises
+// `aborted` so peers stop waiting on a count that can no longer drain
+// (the thrower's deque may still hold unacquired entries). Without the
+// guard a throwing task leaks its unit; without the flag the peers spin
+// forever on the leaked count — either way the join never happens. The
+// regression for both lives in test_steal_deque.cpp.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "exec/steal_deque.hpp"
+
+namespace eclat::exec {
+
+/// Run worker `w`'s share of the task set spread over `deques` (one per
+/// worker, seeded before any worker starts). `load_of(task)` is the
+/// advisory weight used for victim selection; `body(task)` executes the
+/// task and may throw — the exception propagates to the caller after the
+/// unit is retired and `aborted` is raised.
+template <typename LoadOf, typename Body>
+void run_stealing_loop(std::size_t w, std::deque<StealDeque>& deques,
+                       std::vector<std::atomic<std::int64_t>>& loads,
+                       std::atomic<std::size_t>& tasks_left,
+                       std::atomic<bool>& aborted, LoadOf&& load_of,
+                       Body&& body) {
+  const std::size_t W = deques.size();
+  const auto acquired = [&](std::size_t task, std::size_t victim) {
+    loads[victim].fetch_sub(load_of(task), std::memory_order_relaxed);
+    try {
+      body(task);
+    } catch (...) {
+      aborted.store(true, std::memory_order_release);
+      tasks_left.fetch_sub(1, std::memory_order_acq_rel);
+      throw;
+    }
+    tasks_left.fetch_sub(1, std::memory_order_acq_rel);
+  };
+  while (!aborted.load(std::memory_order_acquire)) {
+    if (const std::optional<std::size_t> task = deques[w].pop()) {
+      acquired(*task, w);
+      continue;
+    }
+    if (tasks_left.load(std::memory_order_acquire) == 0) break;
+    // Steal from the victim with the most remaining weight. The load
+    // counters are advisory (decremented at acquisition), so a miss just
+    // means another spin — correctness only needs tasks_left/aborted.
+    std::size_t victim = W;
+    std::int64_t best = 0;
+    for (std::size_t v = 0; v < W; ++v) {
+      if (v == w) continue;
+      const std::int64_t load = loads[v].load(std::memory_order_relaxed);
+      if (load > best) {
+        best = load;
+        victim = v;
+      }
+    }
+    if (victim == W) {
+      std::this_thread::yield();
+      continue;
+    }
+    if (const std::optional<std::size_t> task = deques[victim].steal()) {
+      acquired(*task, victim);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace eclat::exec

@@ -11,21 +11,33 @@
 //      partials concatenated in block order, which keeps them globally
 //      sorted (paper §6.3) — built in parallel, classes striped over
 //      workers.
-//   3. Asynchronous — each class is mined exactly once with
+//   3. Asynchronous — each class runs as an isolated task with
 //      compute_frequent over a per-worker TidArena. Placement is either
 //      the paper's static greedy schedule, or work-stealing: deques are
 //      seeded with the static assignment in ascending-weight order, the
 //      owner pops LIFO (heaviest first, hottest lists), idle workers
 //      steal FIFO from the victim with the most remaining weight.
+//      Under isolation (the default) every attempt runs inside
+//      capture_class_failure: an exception fails only that class, which
+//      is retried with backoff-in-attempts up to --exec-max-retries and
+//      quarantined past that; a cooperative MiningGuard checkpoint
+//      drives a stall watchdog (injected stalls only — honest long
+//      classes never park) and the per-worker arena memory budget;
+//      every mined slot is contract-validated and committed
+//      first-writer-wins. The fault schedule, retry sequence, and
+//      quarantine outcome are pure functions of (plan, seed, class id,
+//      attempt index) — DESIGN.md §11.
 //   4. Final reduction — results are committed into per-class slots and
 //      assembled on the main thread in ascending class id, then
 //      normalized; output is therefore byte-identical to the sequential
 //      reference and to the mc backend regardless of worker count,
-//      scheduler, or interleaving (DESIGN.md §9).
+//      scheduler, interleaving, or recovered faults (DESIGN.md §9).
 //
-// The fault/lease machinery of the simulator does not apply here: a
-// ParEclatConfig's lease and retransmit knobs are ignored (threads do
-// not crash by plan), and the run report is all-kFinished.
+// A run either completes with the byte-identical result or throws the
+// typed clean abort ExecClassQuarantined after the pool has drained
+// (lowest quarantined class id, deterministic). ParEclatConfig's mc
+// lease/retransmit knobs are still ignored (those model the simulated
+// cluster, not this pool); the run report is all-kFinished on success.
 #pragma once
 
 #include "exec/backend.hpp"
@@ -36,7 +48,11 @@ class ThreadBackend final : public Backend {
  public:
   explicit ThreadBackend(const ThreadBackendOptions& options)
       : threads_(resolve_threads(options.threads)),
-        scheduler_(options.scheduler) {}
+        scheduler_(options.scheduler),
+        max_retries_(options.max_retries),
+        mem_budget_(options.mem_budget),
+        faults_(options.faults),
+        isolation_(options.isolation) {}
 
   std::string_view name() const override { return "threads"; }
   /// Resolved worker count (--exec-threads=0 -> hardware concurrency).
@@ -44,13 +60,20 @@ class ThreadBackend final : public Backend {
   ClassScheduler scheduler() const { return scheduler_; }
 
   /// total_seconds and wall_seconds are both host wall-clock here;
-  /// phase_seconds carries the usual four phase labels.
+  /// phase_seconds carries the usual four phase labels. Throws
+  /// ExecClassQuarantined when a class exhausts its retry budget, and
+  /// std::invalid_argument for a non-empty fault plan with isolation
+  /// disabled (the bare path has no injection hooks).
   par::ParallelOutput mine(const HorizontalDatabase& db,
                            const par::ParEclatConfig& config) override;
 
  private:
   std::size_t threads_;
   ClassScheduler scheduler_;
+  std::uint32_t max_retries_;
+  std::size_t mem_budget_;
+  ExecFaultPlan faults_;
+  bool isolation_;
 };
 
 }  // namespace eclat::exec

@@ -167,7 +167,9 @@ RunReport Cluster::run(const std::function<void(Processor&)>& body) {
         std::rethrow_exception(errors[p]);
       } catch (const std::exception& e) {
         what = std::string("aborted: ") + e.what();
-      } catch (...) {
+      }
+      // eclat-lint: allow(robust-catch) diagnostic extraction only: a non-std escape keeps the default what; the original is rethrown below
+      catch (...) {
       }
       trace_->record(p, clocks_[p], TraceKind::kFault, what);
     }

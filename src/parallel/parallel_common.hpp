@@ -61,6 +61,23 @@ struct ParallelOutput {
   /// horizontal partitions because every image replica was lost.
   std::uint64_t lineage_rebuilds = 0;
 
+  // --- Thread-backend fault-tolerance accounting (zero under the mc
+  // backend and under --exec-isolation=off). ---
+  /// Class attempts that failed (injected throws, corrupt-result
+  /// detections, memory-budget trips, watchdog reclaims).
+  std::uint64_t exec_task_failures = 0;
+  /// Failed attempts re-enqueued by the retry path (excludes watchdog
+  /// re-enqueues, which are counted in exec_stall_reclaims).
+  std::uint64_t exec_task_retries = 0;
+  /// Parked leases reclaimed by the monotonic-progress watchdog.
+  std::uint64_t exec_stall_reclaims = 0;
+  /// Live tid-sets demoted to the chunked representation by the arena
+  /// memory-budget relief pass.
+  std::uint64_t exec_arena_demotions = 0;
+  /// Peak per-worker arena bytes observed (max over workers; 0 when the
+  /// budget is disabled, since metering is off).
+  std::uint64_t exec_arena_peak_bytes = 0;
+
   double setup_seconds() const {
     double setup = 0.0;
     for (const auto& [name, seconds] : phase_seconds) {

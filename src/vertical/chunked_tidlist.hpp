@@ -67,6 +67,13 @@ class ChunkedTidList {
   bool empty() const { return count_ == 0; }
   std::size_t chunk_count() const { return chunks_.size(); }
   ContainerHistogram histogram() const;
+  /// Bytes held by the chunk directory and payload pools (capacities, for
+  /// the exec memory budget).
+  std::size_t memory_bytes() const {
+    return chunks_.capacity() * sizeof(Chunk) +
+           u16_pool_.capacity() * sizeof(std::uint16_t) +
+           word_pool_.capacity() * sizeof(std::uint64_t);
+  }
 
   bool test(Tid t) const;
 

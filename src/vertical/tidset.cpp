@@ -209,6 +209,31 @@ void TidSet::assign_dense(std::span<const Tid> tids, Tid universe) {
   rep_ = TidRep::kDense;
 }
 
+bool TidSet::demote_to_chunked() {
+  if (rep_ == TidRep::kChunked) return false;
+  // Decode, re-encode chunked over the set's own span (max tid + 1), then
+  // drop the vacated buffer so the budget accounting actually improves.
+  TidList decoded = to_tidlist();
+  const Tid universe = decoded.empty() ? 0 : decoded.back() + 1;
+  chunks_.assign(decoded, universe);
+  if (rep_ == TidRep::kSparse) {
+    tids_ = TidList();
+  } else {
+    bits_ = BitsetTidList();
+  }
+  rep_ = TidRep::kChunked;
+  last_conv_ = -1;
+  return true;
+}
+
+void TidSet::release() {
+  tids_ = TidList();
+  bits_ = BitsetTidList();
+  chunks_ = ChunkedTidList();
+  rep_ = TidRep::kSparse;
+  last_conv_ = 0;
+}
+
 bool TidSet::prefers_dense(std::size_t size, Tid universe) {
   return size > 0 && (static_cast<std::uint64_t>(size) << 7) >= universe;
 }

@@ -120,6 +120,25 @@ class TidSet {
   void append_to(TidList& out) const;
   TidList to_tidlist() const;
 
+  /// Bytes retained across all three internal buffers (capacities). The
+  /// exec memory budget sums this over a worker's arena.
+  std::size_t memory_bytes() const {
+    return tids_.capacity() * sizeof(Tid) + bits_.memory_bytes() +
+           chunks_.memory_bytes();
+  }
+
+  /// Memory-pressure demotion: re-encode as chunked (u16 containers,
+  /// ~half the bytes of a sparse u32 list; empty chunks dropped from a
+  /// dense bitmap) and release the vacated sparse/dense buffers. Only
+  /// valid when the active kernel dispatches mixed representations
+  /// (kAuto/kChunked) — the forced sparse/dense kernels assume their
+  /// representation everywhere. Returns false when already chunked.
+  bool demote_to_chunked();
+
+  /// Drop every buffer (capacity included) and reset to an empty sparse
+  /// set. Memory-pressure relief for slots whose contents are dead.
+  void release();
+
  private:
   friend void seed_tidset(std::span<const Tid>, Tid, IntersectKernel,
                           TidSet&, IntersectStats*);

@@ -1,0 +1,44 @@
+// Corpus: the approved catch (...) idioms — rethrow, capture for a
+// post-join rethrow, routing through the fault-capture helper — plus a
+// justified suppression for the one legitimate swallow.
+#include <exception>
+
+void risky();
+int capture_class_failure(int token);
+
+void rethrows() {
+  try {
+    risky();
+  } catch (...) {
+    throw;
+  }
+}
+
+std::exception_ptr captures() {
+  try {
+    risky();
+  } catch (...) {
+    return std::current_exception();
+  }
+  return nullptr;
+}
+
+int routed() {
+  try {
+    risky();
+  } catch (...) {
+    return capture_class_failure(0);
+  }
+  return 0;
+}
+
+int justified() {
+  try {
+    risky();
+  }
+  // eclat-lint: allow(robust-catch) best-effort probe: a failure here only skips the fast path
+  catch (...) {
+    return 0;
+  }
+  return 1;
+}

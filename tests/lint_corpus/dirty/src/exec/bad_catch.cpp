@@ -1,0 +1,21 @@
+// Corpus: a bare catch (...) that swallows the exception entirely. The
+// typed handler below is out of the rule's scope and must NOT fire.
+void risky();
+
+int swallow() {
+  try {
+    risky();
+  } catch (...) {
+    return -1;
+  }
+  return 0;
+}
+
+int typed_ok() {
+  try {
+    risky();
+  } catch (const int& e) {
+    return e;
+  }
+  return 0;
+}

@@ -192,6 +192,94 @@ TEST(Chaos, MalformedPlanTextNamesTheOffendingLine) {
   EXPECT_THROW((void)plan_from_text(""), std::invalid_argument);
 }
 
+// --- Exec-side chaos: the same gate for the native thread backend. ---
+
+/// The exec chaos contract: completed-and-byte-identical to the mc
+/// fault-free reference, or the typed clean quarantine abort.
+void expect_exec_contract(const ExecChaosRun& run, const std::string& where) {
+  if (run.completed) {
+    EXPECT_FALSE(run.clean_abort) << where;
+    EXPECT_EQ(run.result_bytes, reference_run().result_bytes)
+        << where << ": completed threads run dropped or invented itemsets";
+  } else {
+    EXPECT_TRUE(run.clean_abort)
+        << where << ": unexpected abort diagnostic \"" << run.error << "\"";
+    EXPECT_NE(run.error.find("quarantined"), std::string::npos) << run.error;
+  }
+}
+
+TEST(Chaos, GeneratedExecPlansAlwaysValidate) {
+  const ExecChaosKnobs knobs;
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    const exec::ExecFaultPlan plan = generate_exec_plan(seed, knobs);
+    EXPECT_NO_THROW(exec::validate_exec_plan(plan)) << "seed " << seed;
+    EXPECT_FALSE(plan.empty()) << "seed " << seed;
+    EXPECT_EQ(plan.seed, seed);
+    // Determinism of the generator itself: same (seed, knobs), same text.
+    EXPECT_EQ(exec::exec_plan_to_text(generate_exec_plan(seed, knobs)),
+              exec::exec_plan_to_text(plan))
+        << "seed " << seed;
+  }
+  // Kind toggles prune the drawn kinds; all off degenerates to empty.
+  ExecChaosKnobs none = knobs;
+  none.throws = none.corrupts = none.stalls = false;
+  EXPECT_TRUE(generate_exec_plan(1, none).empty());
+}
+
+TEST(Chaos, ExecSweepHoldsTheContractAcrossExecutionShapes) {
+  const ExecChaosKnobs knobs;
+  std::size_t completed = 0, aborted = 0;
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    const exec::ExecFaultPlan plan = generate_exec_plan(seed, knobs);
+    ExecChaosOptions options;
+    // Rotate the execution shape per seed, mirroring the CLI sweep.
+    options.threads = 1 + seed % 5;
+    options.scheduler = (seed >> 3) % 2 == 0
+                            ? exec::ClassScheduler::kWorkStealing
+                            : exec::ClassScheduler::kStatic;
+    const ExecChaosRun run = run_exec_plan(test_db(), plan, options);
+    expect_exec_contract(run, "exec seed " + std::to_string(seed));
+    run.completed ? ++completed : ++aborted;
+  }
+  // The sweep must exercise both sides of the contract.
+  EXPECT_GT(completed, 0u);
+  EXPECT_GT(aborted, 0u);
+}
+
+TEST(Chaos, ExecSweepReplaysIdentically) {
+  const ExecChaosKnobs knobs;
+  for (std::uint64_t seed = 200; seed < 215; ++seed) {
+    const exec::ExecFaultPlan plan = generate_exec_plan(seed, knobs);
+    ExecChaosOptions options;
+    options.threads = 1 + seed % 5;
+    const ExecChaosRun first = run_exec_plan(test_db(), plan, options);
+    const ExecChaosRun second = run_exec_plan(test_db(), plan, options);
+    const std::string where = "exec seed " + std::to_string(seed);
+    EXPECT_EQ(first.completed, second.completed) << where;
+    EXPECT_EQ(first.clean_abort, second.clean_abort) << where;
+    EXPECT_EQ(first.error, second.error) << where;
+    EXPECT_EQ(first.failures, second.failures) << where;
+    EXPECT_EQ(first.retries, second.retries) << where;
+    EXPECT_EQ(first.reclaims, second.reclaims) << where;
+    EXPECT_EQ(first.result_bytes, second.result_bytes) << where;
+  }
+}
+
+TEST(Chaos, ExecBudgetedSweepStillHoldsTheContract) {
+  // A tight per-worker arena budget layered on top of injected faults:
+  // degradation history may vary, but the byte-identical-or-clean-abort
+  // contract must hold on every run.
+  const ExecChaosKnobs knobs;
+  for (std::uint64_t seed = 300; seed < 312; ++seed) {
+    const exec::ExecFaultPlan plan = generate_exec_plan(seed, knobs);
+    ExecChaosOptions options;
+    options.threads = 1 + seed % 3;
+    options.mem_budget = 16 * 1024;
+    const ExecChaosRun run = run_exec_plan(test_db(), plan, options);
+    expect_exec_contract(run, "budget seed " + std::to_string(seed));
+  }
+}
+
 TEST(Chaos, ReplayedTextPlanProducesTheIdenticalRun) {
   // The CI soak leg's artifact loop: a failing plan is written as text
   // and replayed from the file. The replay must reproduce the original

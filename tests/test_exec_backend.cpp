@@ -19,6 +19,7 @@
 #include "exec/mc_backend.hpp"
 #include "exec/thread_backend.hpp"
 #include "test_util.hpp"
+#include "vertical/simd/dispatch.hpp"
 
 namespace {
 
@@ -35,7 +36,10 @@ par::ParallelOutput run_threads(const HorizontalDatabase& db,
                                 const par::ParEclatConfig& config,
                                 std::size_t threads,
                                 exec::ClassScheduler scheduler) {
-  exec::ThreadBackend backend(exec::ThreadBackendOptions{threads, scheduler});
+  exec::ThreadBackendOptions options;
+  options.threads = threads;
+  options.scheduler = scheduler;
+  exec::ThreadBackend backend(options);
   return backend.mine(db, config);
 }
 
@@ -150,7 +154,7 @@ TEST(ExecBackend, PhaseAccountingAndRunReport) {
 TEST(ExecBackend, ZeroThreadsResolvesToHardwareConcurrency) {
   const std::size_t resolved = exec::resolve_threads(0);
   EXPECT_GE(resolved, 1u);
-  exec::ThreadBackend backend(exec::ThreadBackendOptions{0, {}});
+  exec::ThreadBackend backend(exec::ThreadBackendOptions{});
   EXPECT_EQ(backend.workers(), resolved);
 
   const HorizontalDatabase db = testutil::handmade_db();
@@ -185,6 +189,53 @@ TEST(ExecBackend, ParseHelpersRejectUnknownNamesActionably) {
     EXPECT_NE(std::string(e.what()).find("threads"), std::string::npos);
   }
   EXPECT_THROW(exec::parse_scheduler("lifo"), std::invalid_argument);
+  try {
+    exec::parse_scheduler("fifo");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("'static'"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("'steal'"), std::string::npos)
+        << e.what();
+  }
+  // Case and whitespace are not forgiven: flag spellings are exact.
+  EXPECT_THROW(exec::parse_backend("Threads"), std::invalid_argument);
+  EXPECT_THROW(exec::parse_backend(" mc"), std::invalid_argument);
+  EXPECT_THROW(exec::parse_backend(""), std::invalid_argument);
+}
+
+TEST(ExecBackend, ResolveThreadsPassesThroughAndClampsToOne) {
+  EXPECT_EQ(exec::resolve_threads(1), 1u);
+  EXPECT_EQ(exec::resolve_threads(5), 5u);
+  EXPECT_EQ(exec::resolve_threads(64), 64u);
+  EXPECT_GE(exec::resolve_threads(0), 1u);  // even if hw probing fails
+}
+
+TEST(ExecBackend, ScalarPinnedThreadsRunStaysByteIdentical) {
+  // The ECLAT_FORCE_SCALAR=1 contract as an in-process test: pinning the
+  // scalar kernel table (the same table the env var pins) must not change
+  // a single byte of the threads-backend output relative to the full-ISA
+  // run and the mc reference. CI also runs the whole suite under the env
+  // var itself.
+  const HorizontalDatabase db = small_quest_db(300, 24, 19);
+  par::ParEclatConfig config;
+  config.minsup = 4;
+  config.kernel = IntersectKernel::kAuto;  // widest SIMD surface
+
+  const std::vector<std::uint8_t> reference =
+      result_to_bytes(run_mc(db, config, {1, 3}).result);
+  const std::vector<std::uint8_t> full_isa = result_to_bytes(
+      run_threads(db, config, 3, exec::ClassScheduler::kWorkStealing)
+          .result);
+  EXPECT_EQ(full_isa, reference);
+
+  simd::override_isa_level(simd::IsaLevel::kScalar);
+  const std::vector<std::uint8_t> scalar = result_to_bytes(
+      run_threads(db, config, 3, exec::ClassScheduler::kWorkStealing)
+          .result);
+  simd::override_isa_level(std::nullopt);
+  EXPECT_EQ(scalar, reference)
+      << "scalar-pinned threads run diverged from the mc reference";
 }
 
 TEST(ExecBackend, ApiDispatchesParEclatToThreads) {

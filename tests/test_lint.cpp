@@ -63,7 +63,8 @@ TEST(Lint, DirtyCorpusCoversEveryAnalyzer) {
        {"det-wallclock", "det-random", "det-thread", "det-ptr-key",
         "det-unordered-iter", "layer-violation", "layer-cycle",
         "contract-assert", "contract-abort", "contract-cast",
-        "contract-memcpy", "isa-intrinsics", "lint-suppression"}) {
+        "contract-memcpy", "robust-catch", "isa-intrinsics",
+        "lint-suppression"}) {
     EXPECT_NE(r.output.find(std::string("\"id\": \"") + id + "\""),
               std::string::npos)
         << "dirty corpus no longer triggers rule " << id;
@@ -74,7 +75,7 @@ TEST(Lint, CleanCorpusPassesWithJustifiedSuppressions) {
   const RunResult r = run_lint("--root " + kCorpus + "/clean");
   EXPECT_EQ(r.exit_code, 0) << r.output;
   EXPECT_NE(r.output.find("0 finding(s)"), std::string::npos) << r.output;
-  EXPECT_NE(r.output.find("2 suppressed"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("3 suppressed"), std::string::npos) << r.output;
 }
 
 TEST(Lint, UnjustifiedSuppressionDoesNotSilence) {

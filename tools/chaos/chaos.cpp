@@ -8,6 +8,7 @@
 
 #include "common/rng.hpp"
 #include "data/result_io.hpp"
+#include "exec/thread_backend.hpp"
 #include "gen/quest.hpp"
 #include "mc/cluster.hpp"
 
@@ -377,6 +378,83 @@ ChaosRun run_plan(const HorizontalDatabase& db, const mc::FaultPlan& plan,
     out.makespan = cluster.makespan();
     fold_report(cluster.last_run_report());
     out.clean_abort = is_expected_abort(out.error);
+  }
+  return out;
+}
+
+exec::ExecFaultPlan generate_exec_plan(std::uint64_t seed,
+                                       const ExecChaosKnobs& knobs) {
+  // Distinct stream constant from generate_plan: the same sweep seed
+  // drives independent mc and exec schedules.
+  Rng rng(seed ^ 0xE7ECFA017E7ECFAULL);
+  exec::ExecFaultPlan plan;
+  plan.seed = seed;
+
+  std::vector<exec::ExecFaultKind> kinds;
+  if (knobs.throws) kinds.push_back(exec::ExecFaultKind::kThrow);
+  if (knobs.corrupts) kinds.push_back(exec::ExecFaultKind::kCorrupt);
+  if (knobs.stalls) kinds.push_back(exec::ExecFaultKind::kStall);
+  if (kinds.empty()) return plan;
+
+  const std::size_t span = knobs.max_events >= knobs.min_events
+                               ? knobs.max_events - knobs.min_events + 1
+                               : 1;
+  const std::size_t count = knobs.min_events + rng.below(span);
+  const std::uint32_t max_times = knobs.max_times > 0 ? knobs.max_times : 1;
+  for (std::size_t i = 0; i < count; ++i) {
+    const exec::ExecFaultKind kind = kinds[rng.below(kinds.size())];
+    const std::uint32_t times =
+        1 + static_cast<std::uint32_t>(rng.below(max_times));
+    if (rng.below(4) == 0) {
+      // Explicit low class id: a harmless no-op when the database has
+      // fewer classes, like an mc fault site the pipeline never visits.
+      exec::ExecFaultEvent event;
+      event.kind = kind;
+      event.class_id = rng.below(6);
+      event.times = times;
+      plan.events.push_back(event);
+    } else {
+      // Hash selector: generalizes over any class count, hits ~1/mod of
+      // the classes — the workhorse of generated schedules.
+      const std::uint64_t mod = 2 + rng.below(9);
+      plan.events.push_back(
+          exec::ExecFaultPlan::hashed(kind, mod, rng.below(mod), times));
+    }
+  }
+
+  // The generator's construction rules mirror validate_exec_plan; make
+  // the mirror impossible to break silently.
+  exec::validate_exec_plan(plan);
+  return plan;
+}
+
+ExecChaosRun run_exec_plan(const HorizontalDatabase& db,
+                           const exec::ExecFaultPlan& plan,
+                           const ExecChaosOptions& options) {
+  ExecChaosRun out;
+  exec::ThreadBackendOptions backend_options;
+  backend_options.threads = options.threads;
+  backend_options.scheduler = options.scheduler;
+  backend_options.max_retries = options.max_retries;
+  backend_options.mem_budget = options.mem_budget;
+  backend_options.faults = plan;
+  exec::ThreadBackend backend(backend_options);
+  par::ParEclatConfig config;
+  config.minsup = options.minsup;
+  try {
+    const par::ParallelOutput output = backend.mine(db, config);
+    out.completed = true;
+    out.failures = output.exec_task_failures;
+    out.retries = output.exec_task_retries;
+    out.reclaims = output.exec_stall_reclaims;
+    out.result_bytes = result_to_bytes(output.result);
+  } catch (const exec::ExecClassQuarantined& e) {
+    // The one *expected* abort of a threads run: a class exceeded its
+    // retry budget. Anything else escaping is an invariant violation.
+    out.clean_abort = true;
+    out.error = e.what();
+  } catch (const std::exception& e) {
+    out.error = e.what();
   }
   return out;
 }

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "data/horizontal.hpp"
+#include "exec/backend.hpp"
 #include "mc/fault.hpp"
 #include "mc/topology.hpp"
 #include "mc/trace.hpp"
@@ -111,5 +112,65 @@ ChaosRun run_plan(const HorizontalDatabase& db, const mc::FaultPlan& plan,
 /// A small (fast, but multi-class) chaos database: deterministic in seed.
 HorizontalDatabase chaos_database(std::uint64_t seed = 1997,
                                   std::size_t transactions = 200);
+
+// --- Exec-side chaos: the same sweep idea aimed at the native thread
+// backend's fault-tolerance layer (exec/exec_fault.hpp). Random seeded
+// ExecFaultPlans — injected throws, corrupt results, cooperative stalls,
+// explicit and hash-selected targets — executed on real threads, with
+// the §11 contract enforced per seed: byte-identical to the fault-free
+// reference or a clean typed quarantine abort, reproducibly. ---
+
+/// Shape of the random exec plans generate_exec_plan draws.
+struct ExecChaosKnobs {
+  /// Events per plan, drawn uniformly from [min_events, max_events].
+  std::size_t min_events = 1;
+  std::size_t max_events = 4;
+  /// Per-kind toggles, so a sweep can isolate one failure domain.
+  bool throws = true;
+  bool corrupts = true;
+  bool stalls = true;
+  /// Upper bound on an event's `times` (leading faulted attempts);
+  /// relative to --exec-max-retries this decides recover vs quarantine.
+  std::uint32_t max_times = 4;
+};
+
+/// Draw a random exec fault plan. Deterministic in (seed, knobs); always
+/// satisfies exec::validate_exec_plan by construction. Events mix
+/// hash-selected targets (which generalize over any class count) with
+/// explicit low class ids.
+exec::ExecFaultPlan generate_exec_plan(std::uint64_t seed,
+                                       const ExecChaosKnobs& knobs);
+
+/// How to execute an exec plan on the thread backend.
+struct ExecChaosOptions {
+  Count minsup = 2;
+  std::size_t threads = 3;
+  exec::ClassScheduler scheduler = exec::ClassScheduler::kWorkStealing;
+  std::uint32_t max_retries = 2;
+  std::size_t mem_budget = 0;  ///< bytes per worker arena; 0 = unlimited
+};
+
+/// Outcome of one exec chaos run.
+struct ExecChaosRun {
+  /// True when the backend completed; result_bytes then holds the
+  /// canonical serialized result, which must equal the reference's.
+  bool completed = false;
+  /// True when the run ended in the typed clean abort (a class exceeded
+  /// its retry budget: exec::ExecClassQuarantined). Both flags false
+  /// means an unexpected escape — an invariant broke.
+  bool clean_abort = false;
+  std::string error;  ///< diagnostic of an aborted run, empty otherwise
+  std::uint64_t failures = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t reclaims = 0;
+  std::vector<std::uint8_t> result_bytes;
+};
+
+/// Execute Par-Eclat on `db` over the thread backend under `plan`. Never
+/// hangs: stalls are cooperative and reclaimed by the watchdog, doomed
+/// classes quarantine, and the pool always drains.
+ExecChaosRun run_exec_plan(const HorizontalDatabase& db,
+                           const exec::ExecFaultPlan& plan,
+                           const ExecChaosOptions& options);
 
 }  // namespace eclat::chaos

@@ -10,6 +10,8 @@
 //   layering     layer-violation, layer-unknown, layer-cycle
 //   contracts    contract-assert, contract-abort, contract-cast,
 //                contract-memcpy
+//   robustness   robust-catch — bare `catch (...)` must rethrow, capture
+//                the exception, or route through capture_class_failure
 //   isa          isa-intrinsics — ISA intrinsics/headers confined to
 //                src/vertical/simd/ (the runtime-dispatch contract)
 //   (tool)       lint-suppression — malformed/unjustified suppressions
@@ -96,6 +98,10 @@ void analyze_layering(const std::vector<SourceFile>& files,
 /// files where unguarded reinterpret_cast/memcpy are rejected.
 void analyze_contracts(const SourceFile& file, bool serialization_path,
                        std::vector<Finding>& findings);
+
+/// Robustness rules (per-file): exception-swallowing handlers.
+void analyze_robustness(const SourceFile& file,
+                        std::vector<Finding>& findings);
 
 /// Match findings against suppressions (marking both sides), then append
 /// lint-suppression findings for unjustified or unknown-id suppressions.

@@ -170,6 +170,7 @@ int run(const Options& opts) {
   for (const SourceFile& file : files) {
     analyze_determinism(file, on_emission_path(file), findings);
     analyze_contracts(file, on_serialization_path(file), findings);
+    analyze_robustness(file, findings);
   }
   analyze_layering(files, findings);
   apply_suppressions(files, findings);

@@ -16,7 +16,8 @@ const std::set<std::string>& known_rule_ids() {
       "det-ptr-key",     "det-unordered-iter",
       "layer-violation", "layer-unknown",  "layer-cycle",
       "contract-assert", "contract-abort", "contract-cast",
-      "contract-memcpy", "isa-intrinsics", "lint-suppression",
+      "contract-memcpy", "robust-catch",   "isa-intrinsics",
+      "lint-suppression",
   };
   return ids;
 }
@@ -25,6 +26,7 @@ std::string analyzer_of(const std::string& id) {
   if (id.rfind("det-", 0) == 0) return "determinism";
   if (id.rfind("layer-", 0) == 0) return "layering";
   if (id.rfind("contract-", 0) == 0) return "contracts";
+  if (id.rfind("robust-", 0) == 0) return "robustness";
   if (id.rfind("isa-", 0) == 0) return "isa";
   return "suppression";
 }
